@@ -1,0 +1,55 @@
+"""Shared fixtures for the figure/table regeneration harness.
+
+Every bench writes its regenerated artifact both to stdout and to
+``benchmarks/output/<name>.txt``; EXPERIMENTS.md records the outputs of a
+full run next to the paper's numbers.
+
+Scale: `REPRO_SIM_SCALE` (float) multiplies the simulation windows; the
+default is sized so the full harness regenerates every figure in minutes
+on a laptop. The Fig. 4 / Fig. 5 / headline benches share one sweep via a
+session-scoped cache.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.performance import run_performance_experiment
+from repro.experiments.scale import ExperimentScale
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def bench_scale() -> ExperimentScale:
+    base = ExperimentScale(commit_target=6000, screen_target=1200, max_mappings=24)
+    factor = os.environ.get("REPRO_SIM_SCALE")
+    if factor:
+        base = base.scaled(float(factor))
+    return base
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def sweep(scale):
+    """The full Figs. 4/5 sweep: every configuration x every workload."""
+    return run_performance_experiment(scale=scale, progress=True)
+
+
+@pytest.fixture()
+def artifact():
+    """Writer: artifact('fig4_ilp', text) -> prints + saves the artifact."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = OUTPUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return write

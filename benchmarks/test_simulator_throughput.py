@@ -1,0 +1,63 @@
+"""Micro-benchmarks: simulator and substrate throughput.
+
+Not a paper artifact — these track the cost of the hot paths (the
+profiling-first discipline of the HPC guides: measure before and after
+touching the simulator loops).
+"""
+
+from repro.branch.perceptron import PerceptronPredictor
+from repro.core.config import get_config
+from repro.core.processor import Processor
+from repro.memory.cache import SetAssociativeCache
+from repro.trace.stream import trace_for
+
+
+def test_cache_access_throughput(benchmark):
+    c = SetAssociativeCache(64 * 1024, 2, 64, 8, name="bench")
+    addrs = [(i * 2654435761) % (1 << 24) for i in range(4096)]
+
+    def run():
+        access = c.access
+        for a in addrs:
+            access(a)
+
+    benchmark(run)
+
+
+def test_perceptron_throughput(benchmark):
+    p = PerceptronPredictor()
+    pcs = [(0x40_0000 + 4 * i) for i in range(512)]
+
+    def run():
+        for pc in pcs:
+            taken = p.predict(0, pc)
+            p.update(0, pc, not taken)
+
+    benchmark(run)
+
+
+def test_trace_generation_throughput(benchmark):
+    from repro.trace.benchmarks import get_benchmark
+    from repro.trace.synthetic import StaticProgram, TraceGenerator
+
+    prog = StaticProgram(get_benchmark("gcc"), seed=0)
+
+    def run():
+        TraceGenerator(prog, seed=1).generate(5_000)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_simulator_cycles_per_second(benchmark):
+    """End-to-end simulation speed on a 4-thread hdSMT configuration."""
+    cfg = get_config("2M4+2M2")
+    traces = [trace_for(b, 6000) for b in ("gzip", "twolf", "bzip2", "mcf")]
+
+    def run():
+        proc = Processor(cfg, traces, (0, 2, 1, 3), commit_target=3000)
+        proc.warm()
+        proc.run()
+        return proc.cycle
+
+    cycles = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert cycles > 0

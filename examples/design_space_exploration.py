@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Design-space exploration: search heterogeneous pipeline mixes for the
+best complexity-effectiveness on a target workload mix.
+
+The paper evaluates five fixed multipipeline designs; this example opens
+the knob: it enumerates every configuration expressible as `aM6+bM4+cM2`
+within a context budget, prices each with the calibrated area model, runs
+the paper's heuristic mapping, and ranks designs by IPC/mm² — the
+workflow a microarchitect would actually use this library for.
+
+Run:
+    python examples/design_space_exploration.py [--workload 4W8] [--max-contexts 8]
+"""
+
+from __future__ import annotations
+
+import argparse
+from itertools import product
+
+from repro import config_area, get_config, get_workload, run_workload
+from repro.metrics.tables import format_table
+
+
+def candidate_names(max_contexts: int):
+    """All aM6+bM4+cM2 mixes that fit the context budget (contexts:
+    M6=2, M4=2, M2=1) and host at least one pipeline."""
+    for a, b, c in product(range(0, 3), range(0, 4), range(0, 5)):
+        contexts = 2 * a + 2 * b + c
+        if a + b + c == 0 or contexts > max_contexts:
+            continue
+        parts = []
+        if a:
+            parts.append(f"{a}M6")
+        if b:
+            parts.append(f"{b}M4")
+        if c:
+            parts.append(f"{c}M2")
+        yield "+".join(parts), contexts
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="4W8")
+    parser.add_argument("--max-contexts", type=int, default=8)
+    parser.add_argument("--target", type=int, default=4000)
+    args = parser.parse_args()
+
+    workload = get_workload(args.workload)
+    n = workload.num_threads
+    print(f"Exploring designs for {workload} (needs >= {n} contexts)\n")
+
+    rows = []
+    for name, contexts in candidate_names(args.max_contexts):
+        if contexts < n:
+            continue
+        config = get_config(name)
+        try:
+            r = run_workload(config, workload.benchmarks, commit_target=args.target)
+        except ValueError:
+            continue  # workload does not fit this mix's per-pipeline contexts
+        area = config_area(config)
+        rows.append((r.ipc / area, name, contexts, r.ipc, area))
+
+    # Baseline for reference.
+    m8 = run_workload("M8", workload.benchmarks, commit_target=args.target)
+    m8_area = config_area("M8")
+    rows.append((m8.ipc / m8_area, "M8 (baseline)", 4, m8.ipc, m8_area))
+
+    rows.sort(reverse=True)
+    table = format_table(
+        ["design", "contexts", "IPC", "area_mm2", "IPC/mm2"],
+        [
+            [name, ctx, f"{ipc:.3f}", f"{area:.1f}", f"{ppa:.5f}"]
+            for ppa, name, ctx, ipc, area in rows
+        ],
+        title=f"Design ranking by complexity-effectiveness on {workload.name}",
+    )
+    print(table)
+    best = rows[0]
+    print(
+        f"\nBest design: {best[1]} — {100 * (best[0] / (m8.ipc / m8_area) - 1):+.1f}% "
+        f"IPC/mm2 vs the monolithic baseline"
+    )
+
+
+if __name__ == "__main__":
+    main()

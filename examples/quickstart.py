@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one workload on the monolithic SMT baseline and on
+an hdSMT design, and compare performance and complexity-effectiveness.
+
+This is the paper's experiment in miniature: the monolithic M8 wins raw
+IPC, the heterogeneous 2M4+2M2 wins IPC per mm².
+
+Run:
+    python examples/quickstart.py [--target N] [--workload 2W7]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import config_area, get_workload, run_workload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--target", type=int, default=8000,
+                        help="instructions the first-finishing thread commits")
+    parser.add_argument("--workload", default="2W7",
+                        help="paper workload id (e.g. 2W1, 4W6, 6W1)")
+    args = parser.parse_args()
+
+    workload = get_workload(args.workload)
+    print(f"Workload {workload} [{workload.workload_class}]")
+    print(f"{'config':>12}  {'IPC':>6}  {'area mm2':>9}  {'IPC/mm2':>9}")
+    results = {}
+    for config in ("M8", "2M4+2M2"):
+        r = run_workload(config, workload.benchmarks, commit_target=args.target)
+        area = config_area(config)
+        results[config] = (r.ipc, area)
+        print(f"{config:>12}  {r.ipc:6.3f}  {area:9.1f}  {r.ipc / area:9.5f}")
+        per_thread = ", ".join(
+            f"{b}={ipc:.2f}" for b, ipc in zip(r.benchmarks, r.thread_ipc)
+        )
+        print(f"{'':>12}  per-thread: {per_thread}")
+
+    m8_ipc, m8_area = results["M8"]
+    hd_ipc, hd_area = results["2M4+2M2"]
+    print()
+    print(f"raw IPC      : M8 leads by {100 * (m8_ipc / hd_ipc - 1):+.1f}%")
+    print(
+        f"IPC per mm2  : hdSMT leads by "
+        f"{100 * ((hd_ipc / hd_area) / (m8_ipc / m8_area) - 1):+.1f}% "
+        f"(the paper's complexity-effectiveness argument)"
+    )
+
+
+if __name__ == "__main__":
+    main()

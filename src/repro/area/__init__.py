@@ -1,0 +1,38 @@
+"""Area cost model (§3 of the paper).
+
+The paper estimates mm² (0.18 µm) with the Karlsruhe SMT layout tool,
+excluding caches and the register file (shared by all designs), counting
+per pipeline the instruction fetch / decode / dispatch / execution-core /
+completion stages plus the decode, dispatch and completion queues, with a
++10 % execution-core overhead per hdSMT pipeline (shared-RF/D$ access
+logic) and a +20 % fetch-engine overhead for multipipeline support; only
+one fetch stage is counted per configuration.
+
+We rebuild that model structurally and calibrate its per-model totals to
+the only quantitative area data the paper publishes — Fig. 3's deltas
+against the M8 baseline (−17 % for 3M4, +10.14 % for 4M4, −27 % for
+2M4+2M2, −1 % for 3M4+2M2, +2 % for 1M6+2M4+2M2) and the ≈165 mm² M8 bar
+of Fig. 2(b).
+"""
+
+from repro.area.model import (
+    AREA_M8_TOTAL_MM2,
+    AreaModel,
+    config_area,
+    pipeline_model_area,
+    stage_breakdown,
+    area_report,
+)
+from repro.area.structures import structural_scores, structural_backend_score, STAGE_NAMES
+
+__all__ = [
+    "AREA_M8_TOTAL_MM2",
+    "AreaModel",
+    "config_area",
+    "pipeline_model_area",
+    "stage_breakdown",
+    "area_report",
+    "structural_scores",
+    "structural_backend_score",
+    "STAGE_NAMES",
+]

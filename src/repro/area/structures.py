@@ -1,0 +1,69 @@
+"""Structural area scores for pipeline stages.
+
+Dimensionless scores in the spirit of the Karlsruhe transistor-count
+estimator (Steinhaus et al.) and Burns & Gaudiot's SMT layout analysis:
+
+* execution core — dominated by the bypass network and the issue logic,
+  which grow quadratically with issue width, plus per-unit datapath costs
+  (FP units largest, then load/store, then integer ALUs);
+* decode / dispatch / completion — linear in width, with dispatch and
+  completion carrying per-context overheads (rename map tables and
+  per-thread ROB bookkeeping are replicated per hardware context);
+* queues — linear in their entry counts.
+
+These scores fix the *proportions* between stages of one pipeline model;
+:mod:`repro.area.model` scales them so each model's total matches the
+calibrated per-model areas derived from the paper's Fig. 3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.models import PipelineModel
+
+__all__ = ["STAGE_NAMES", "structural_scores", "structural_backend_score"]
+
+#: Stage keys, matching the paper's Fig. 3 legend: instruction fetch,
+#: decode, dispatch, execution core, instruction completion, decode queue,
+#: dispatch queue, completion queue.
+STAGE_NAMES = ("IF", "DE", "DI", "EX", "IC", "DEQ", "DIQ", "CQ")
+
+# Score coefficients (dimensionless; proportions only).
+_C_EX_WIDTH2 = 1.0
+_C_EX_INT = 2.0
+_C_EX_FP = 3.2
+_C_EX_LDST = 2.6
+_C_DE = 1.2
+_C_DI = 1.8
+_C_DI_CTX = 0.15
+_C_IC = 1.0
+_C_IC_CTX = 0.8  # per-thread 256-entry ROB bookkeeping
+_C_DEQ = 1.4  # decode queue ~ width * depth
+_C_DIQ = 0.08  # per IQ/FQ/LQ entry
+_C_CQ = 0.6
+
+
+def structural_scores(model: PipelineModel) -> Dict[str, float]:
+    """Per-stage structural scores for one pipeline's back-end (no IF)."""
+    w = model.width
+    ctx = model.contexts
+    return {
+        "DE": _C_DE * w,
+        "DI": _C_DI * w * (1.0 + _C_DI_CTX * (ctx - 1)),
+        "EX": (
+            _C_EX_WIDTH2 * w * w
+            + _C_EX_INT * model.int_units
+            + _C_EX_FP * model.fp_units
+            + _C_EX_LDST * model.ldst_units
+        ),
+        "IC": _C_IC * w + _C_IC_CTX * ctx,
+        "DEQ": _C_DEQ * w,
+        "DIQ": _C_DIQ * model.total_queue_entries,
+        "CQ": _C_CQ * w,
+    }
+
+
+def structural_backend_score(model: PipelineModel) -> float:
+    """Total back-end score (all stages except fetch)."""
+    return sum(structural_scores(model).values())

@@ -1,0 +1,23 @@
+"""Branch prediction substrate.
+
+Matches Table 1 of the paper:
+
+* perceptron direction predictor — "4K local, 256 perceps": a 4096-entry
+  local-history table feeding 256 perceptrons that also see per-thread
+  global history (Jimenez-style hybrid input vector);
+* 256-entry, 4-way set-associative branch target buffer;
+* 256-entry return-address stack, replicated per thread.
+"""
+
+from repro.branch.perceptron import PerceptronPredictor
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.ras import ReturnAddressStack
+from repro.branch.unit import BranchUnit, BranchPrediction
+
+__all__ = [
+    "PerceptronPredictor",
+    "BranchTargetBuffer",
+    "ReturnAddressStack",
+    "BranchUnit",
+    "BranchPrediction",
+]

@@ -1,0 +1,91 @@
+"""Branch target buffer: 256 entries, 4-way set associative (Table 1).
+
+Stores the target of taken control transfers. A direction prediction of
+"taken" with a BTB miss cannot steer fetch and costs a small front-end
+bubble (modeled by the core, not here). True-LRU within each set: with
+4 ways a per-set recency list is exact and cheap.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+__all__ = ["BranchTargetBuffer"]
+
+
+class BranchTargetBuffer:
+    """Set-associative BTB keyed by instruction PC.
+
+    Threads share the structure (as in SMTSIM); tags embed the thread id so
+    different address spaces do not alias to the same target.
+    """
+
+    __slots__ = ("entries", "ways", "sets", "_tags", "_targets", "lookups", "hits")
+
+    def __init__(self, entries: int = 256, ways: int = 4) -> None:
+        if entries % ways:
+            raise ValueError("entries must be a multiple of ways")
+        self.entries = entries
+        self.ways = ways
+        self.sets = entries // ways
+        if self.sets & (self.sets - 1):
+            raise ValueError("number of sets must be a power of two")
+        # Per set: parallel recency-ordered lists (index 0 = MRU).
+        self._tags: List[List[int]] = [[] for _ in range(self.sets)]
+        self._targets: List[List[int]] = [[] for _ in range(self.sets)]
+        self.lookups = 0
+        self.hits = 0
+
+    def _set_tag(self, thread: int, pc: int) -> tuple[int, int]:
+        word = pc >> 2
+        s = word & (self.sets - 1)
+        tag = (word >> 6) ^ (thread << 58)  # keep thread ids from aliasing
+        return s, tag
+
+    def lookup(self, thread: int, pc: int) -> Optional[int]:
+        """Return the predicted target or None on a BTB miss."""
+        self.lookups += 1
+        s, tag = self._set_tag(thread, pc)
+        tags = self._tags[s]
+        try:
+            i = tags.index(tag)
+        except ValueError:
+            return None
+        self.hits += 1
+        if i:
+            # move to MRU position
+            targets = self._targets[s]
+            tags.insert(0, tags.pop(i))
+            targets.insert(0, targets.pop(i))
+        return self._targets[s][0]
+
+    def update(self, thread: int, pc: int, target: int) -> None:
+        """Install/refresh the target of a taken control transfer."""
+        s, tag = self._set_tag(thread, pc)
+        tags = self._tags[s]
+        targets = self._targets[s]
+        try:
+            i = tags.index(tag)
+        except ValueError:
+            if len(tags) >= self.ways:
+                tags.pop()
+                targets.pop()
+            tags.insert(0, tag)
+            targets.insert(0, target)
+            return
+        tags.insert(0, tags.pop(i))
+        targets.pop(i)
+        targets.insert(0, target)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def reset_stats(self) -> None:
+        """Zero counters, keep targets (post-warm-up)."""
+        self.lookups = 0
+        self.hits = 0
+
+    def storage_bits(self) -> int:
+        """Approximate storage: 64-bit tag+target per entry (area model)."""
+        return self.entries * (64 + 64)

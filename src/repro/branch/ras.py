@@ -1,0 +1,64 @@
+"""Return-address stack, 256 entries, replicated per thread (Table 1).
+
+Classic circular overwrite-on-overflow behaviour: a push beyond capacity
+overwrites the oldest entry, so deep recursion corrupts the bottom of the
+stack (and produces the occasional return mispredict), matching hardware.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+__all__ = ["ReturnAddressStack"]
+
+
+class ReturnAddressStack:
+    """One thread's return-address stack."""
+
+    __slots__ = ("capacity", "_buf", "_top", "_count", "pushes", "pops", "underflows")
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._buf: List[int] = [0] * capacity
+        self._top = 0  # index of next free slot
+        self._count = 0
+        self.pushes = 0
+        self.pops = 0
+        self.underflows = 0
+
+    def push(self, return_pc: int) -> None:
+        """Push a return address (call instruction fetched)."""
+        self.pushes += 1
+        self._buf[self._top] = return_pc
+        self._top = (self._top + 1) % self.capacity
+        if self._count < self.capacity:
+            self._count += 1
+
+    def pop(self) -> Optional[int]:
+        """Pop the predicted return target; None when empty (underflow)."""
+        self.pops += 1
+        if self._count == 0:
+            self.underflows += 1
+            return None
+        self._top = (self._top - 1) % self.capacity
+        self._count -= 1
+        return self._buf[self._top]
+
+    def peek(self) -> Optional[int]:
+        """Top of stack without popping (None when empty)."""
+        if self._count == 0:
+            return None
+        return self._buf[(self._top - 1) % self.capacity]
+
+    def clear(self) -> None:
+        """Flush the stack (context switch)."""
+        self._top = 0
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def storage_bits(self) -> int:
+        return self.capacity * 64

@@ -1,0 +1,146 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+run
+    Simulate one workload on one configuration (heuristic mapping) and
+    print the result.
+areas
+    Print the Fig. 3 area table for any set of configurations.
+profile
+    Print the benchmark profile table the mapping heuristic consumes.
+figures
+    Regenerate Figs. 4 and 5 plus the §5 summary at a chosen scale
+    (writes the same artifacts as the benchmark harness).
+workloads
+    List the paper's workload tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.area.model import area_report, config_area
+from repro.core.config import STANDARD_CONFIG_NAMES
+from repro.core.simulation import run_workload
+from repro.experiments.performance import (
+    fig4_table,
+    fig5_table,
+    run_performance_experiment,
+)
+from repro.experiments.scale import ExperimentScale, default_scale
+from repro.experiments.summary import headline_summary, summary_report
+from repro.metrics.tables import format_table
+from repro.trace.benchmarks import BENCHMARK_NAMES
+from repro.trace.profiling import profile_benchmark
+from repro.workloads.definitions import WORKLOADS, get_workload
+
+__all__ = ["main"]
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.workload:
+        benchmarks = list(get_workload(args.workload).benchmarks)
+    else:
+        benchmarks = args.benchmarks
+    if not benchmarks:
+        print("error: give --workload or benchmark names", file=sys.stderr)
+        return 2
+    r = run_workload(args.config, benchmarks, commit_target=args.target)
+    area = config_area(args.config)
+    print(r.describe())
+    print(f"area = {area:.1f} mm2   IPC/mm2 = {r.ipc / area:.5f}")
+    for k in ("l1d_miss_rate", "branch_mispredict_rate", "flushes"):
+        print(f"  {k} = {r.stats[k]:.4f}")
+    return 0
+
+
+def _cmd_areas(args: argparse.Namespace) -> int:
+    names = args.configs or list(STANDARD_CONFIG_NAMES)
+    print(area_report(names))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    names = args.benchmarks or list(BENCHMARK_NAMES)
+    rows = []
+    for n in sorted(names, key=lambda n: profile_benchmark(n).misses_per_kilo_instruction):
+        p = profile_benchmark(n)
+        rows.append(
+            [n, f"{p.misses_per_kilo_instruction:.2f}", f"{p.l1d_miss_rate:.4f}", p.l2_misses]
+        )
+    print(
+        format_table(
+            ["benchmark", "L1D MPKI", "L1D miss rate", "L2 misses"],
+            rows,
+            title="Profile pass (the heuristic's §2.1 input)",
+        )
+    )
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    rows = [
+        [w.name, ", ".join(w.benchmarks), w.workload_class]
+        for w in WORKLOADS.values()
+    ]
+    print(format_table(["id", "benchmarks", "class"], rows, title="Tables 2 & 3"))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    scale = default_scale()
+    if args.scale:
+        scale = ExperimentScale().scaled(args.scale)
+    workloads = args.workloads or None
+    results = run_performance_experiment(
+        workload_names=workloads, scale=scale, progress=not args.quiet
+    )
+    for cls in ("ILP", "MEM", "MIX"):
+        print(fig4_table(results, cls))
+        print()
+        print(fig5_table(results, cls))
+        print()
+    print(summary_report(headline_summary(results)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="hdSMT reproduction (Acosta et al., ICPP 2005)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="simulate one workload")
+    p_run.add_argument("--config", default="M8")
+    p_run.add_argument("--workload", help="paper workload id (e.g. 2W4)")
+    p_run.add_argument("benchmarks", nargs="*", help="benchmark names")
+    p_run.add_argument("--target", type=int, default=8000)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_areas = sub.add_parser("areas", help="Fig. 3 area table")
+    p_areas.add_argument("configs", nargs="*")
+    p_areas.set_defaults(func=_cmd_areas)
+
+    p_prof = sub.add_parser("profile", help="benchmark profiles (heuristic input)")
+    p_prof.add_argument("benchmarks", nargs="*")
+    p_prof.set_defaults(func=_cmd_profile)
+
+    p_wl = sub.add_parser("workloads", help="list Tables 2 & 3")
+    p_wl.set_defaults(func=_cmd_workloads)
+
+    p_fig = sub.add_parser("figures", help="regenerate Figs. 4/5 + summary")
+    p_fig.add_argument("--scale", type=float, help="window scale factor")
+    p_fig.add_argument("--workloads", nargs="*", help="restrict workload ids")
+    p_fig.add_argument("--quiet", action="store_true")
+    p_fig.set_defaults(func=_cmd_figures)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)

@@ -1,0 +1,714 @@
+"""The multipipeline SMT processor — cycle-level, trace-driven.
+
+Models the machine of Fig. 1: a shared fetch engine feeding per-pipeline
+decoupling buffers; each pipeline privately decodes, renames, queues,
+issues and commits; all pipelines share the physical register file, the
+branch predictor and the memory hierarchy. Entire threads are bound to
+pipelines by the mapping.
+
+Modeled behaviours (all load-bearing for the paper's results):
+
+* per-thread 256-entry ROBs, a shared 256-entry rename-register pool;
+* IQ/FQ/LQ occupancy per pipeline, per-class FU contention, age-ordered
+  issue within a pipeline;
+* perceptron/BTB/RAS front end with *wrong-path execution*: mispredicted
+  threads fetch junk instructions (from the basic-block-dictionary
+  equivalent) that consume fetch bandwidth, buffers, rename registers,
+  queue slots and functional units until the branch resolves;
+* I-cache/I-TLB fetch stalls; D-cache/D-TLB load latencies resolved at
+  issue; stores retire through the cache at commit;
+* the FLUSH mechanism (baseline policy): loads outstanding past the L2
+  threshold squash the thread's younger instructions and gate its fetch;
+* the hdSMT register-file tax (``reg_latency = 2``): the shared
+  multipipeline register file takes an extra cycle per access, modeled as
+  +1 cycle of result visibility per dependency edge (bypass networks
+  still forward within the execution core) and +2 cycles of front-end
+  refill after a branch mispredict (two extra pipeline stages).
+
+Implementation style: per the HPC-guide discipline the per-cycle work is
+O(machine width), not O(window): completions are events in a timing
+wheel, wakeups walk dependent lists, ready instructions sit in per-FU
+age-ordered heaps. Hot state lives in parallel per-thread lists (no
+per-instruction objects are allocated during simulation).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heappush, heappop
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.branch.unit import BranchUnit
+from repro.core.config import MicroarchConfig
+from repro.core.fetch_policies import make_policy
+from repro.isa.opcodes import (
+    EXEC_LATENCY,
+    OP_BRANCH,
+    OP_CALL,
+    OP_LOAD,
+    OP_RETURN,
+    OP_STORE,
+    fu_class,
+)
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.trace.stream import Trace
+
+__all__ = ["Processor", "Pipeline"]
+
+# ROB slot states.
+S_FREE = 0
+S_WAITING = 1
+S_READY = 2
+S_ISSUED = 3
+S_DONE = 4
+
+# Per-slot flag bits.
+FL_WRONGPATH = 1  #: fetched down a wrong path (never commits)
+FL_MISPRED = 2  #: mispredicted control instr: squash + redirect on resolve
+FL_LOADCTR = 4  #: counted in the thread's in-flight-load counter
+
+# Event kinds.
+EV_COMPLETE = 0
+EV_FLUSHCHK = 1
+
+
+class Pipeline:
+    """Run-time state of one pipeline (cluster)."""
+
+    __slots__ = (
+        "index",
+        "model",
+        "buffer",
+        "buffer_cap",
+        "iq_used",
+        "iq_cap",
+        "fu_count",
+        "ready",
+        "threads",
+        "issued_total",
+    )
+
+    def __init__(self, index: int, model) -> None:
+        self.index = index
+        self.model = model
+        #: decoupling buffer entries: (thread, entry, trace_idx, flags)
+        self.buffer: deque = deque()
+        self.buffer_cap = model.fetch_buffer
+        self.iq_used = [0, 0, 0]  # FU_INT, FU_FP, FU_LDST
+        self.iq_cap = (model.iq_entries, model.fq_entries, model.lq_entries)
+        self.fu_count = (model.int_units, model.fp_units, model.ldst_units)
+        #: per-FU-class age-ordered ready heaps of (seq, thread, slot)
+        self.ready: Tuple[List, List, List] = ([], [], [])
+        self.threads: List[int] = []
+        self.issued_total = 0
+
+    def buffer_space(self) -> int:
+        return self.buffer_cap - len(self.buffer)
+
+
+class Processor:
+    """A configured hdSMT/SMT processor executing a set of thread traces.
+
+    Parameters
+    ----------
+    config:
+        The microarchitecture (pipelines + shared parameters).
+    traces:
+        One :class:`~repro.trace.stream.Trace` per thread.
+    mapping:
+        ``mapping[thread] = pipeline_index``; must respect contexts.
+    commit_target:
+        The simulation finishes as soon as any thread has committed this
+        many correct-path instructions (the paper's stop rule).
+    """
+
+    def __init__(
+        self,
+        config: MicroarchConfig,
+        traces: Sequence[Trace],
+        mapping: Sequence[int],
+        commit_target: int,
+    ) -> None:
+        n = len(traces)
+        if n == 0:
+            raise ValueError("at least one thread required")
+        if len(mapping) != n:
+            raise ValueError("mapping length must equal thread count")
+        loads = [0] * len(config.pipelines)
+        for p in mapping:
+            if not 0 <= p < len(config.pipelines):
+                raise ValueError(f"mapping names pipeline {p}, config has "
+                                 f"{len(config.pipelines)}")
+            loads[p] += 1
+        if config.is_monolithic:
+            if loads[0] > config.contexts_for(n):
+                raise ValueError(f"{n} threads exceed contexts of {config.name}")
+        else:
+            for i, l in enumerate(loads):
+                if l > config.pipelines[i].contexts:
+                    raise ValueError(
+                        f"pipeline {i} ({config.pipelines[i].name}) of {config.name} "
+                        f"hosts {l} threads but has {config.pipelines[i].contexts} contexts"
+                    )
+        self.config = config
+        self.params = config.params
+        self.traces = list(traces)
+        self.mapping = tuple(mapping)
+        self.commit_target = commit_target
+        self.num_threads = n
+
+        self.pipelines = [Pipeline(i, m) for i, m in enumerate(config.pipelines)]
+        self.pipe_of = list(self.mapping)
+        for t, p in enumerate(self.pipe_of):
+            self.pipelines[p].threads.append(t)
+        #: pipelines with at least one thread (simulated; idle ones are off)
+        self.active_pipes = [pl for pl in self.pipelines if pl.threads]
+
+        self.mem = MemoryHierarchy(self.params.memory, max_threads=n)
+        self.branch_unit = BranchUnit(max_threads=n)
+        self.policy = make_policy(config.fetch_policy)
+
+        # --- shared resources -------------------------------------------
+        self.phys_free = self.params.rename_registers
+        self.cycle = 0
+        self.seq = 0
+        self.events: Dict[int, List] = {}
+        self.finished = False
+
+        # --- per-thread front-end state ----------------------------------
+        self.fetch_idx = [0] * n
+        self.wrong_path = [False] * n
+        self.junk_idx = [0] * n
+        self.fetch_stall_until = [0] * n
+        self.flush_wait = [False] * n
+        self.flush_load_slot = [-1] * n
+        self.epoch = [0] * n
+        self.icount = [0] * n
+        self.inflight_loads = [0] * n
+        self.committed = [0] * n
+
+        # --- per-thread ROB (ring buffers of parallel lists) -------------
+        r = self.params.rob_entries
+        self.rob_entries = r
+        self.rob_head = [0] * n
+        self.rob_tail = [0] * n
+        self.rob_count = [0] * n
+        self.rob_entry = [[None] * r for _ in range(n)]
+        self.rob_state = [[S_FREE] * r for _ in range(n)]
+        self.rob_pending = [[0] * r for _ in range(n)]
+        self.rob_deps: List[List[List[Tuple[int, int]]]] = [
+            [[] for _ in range(r)] for _ in range(n)
+        ]
+        self.rob_traceidx = [[-1] * r for _ in range(n)]
+        self.rob_prevprod = [[-1] * r for _ in range(n)]
+        self.rob_prevseq = [[-1] * r for _ in range(n)]
+        self.rob_seq = [[-1] * r for _ in range(n)]
+        self.rob_epoch = [[0] * r for _ in range(n)]
+        self.rob_flags = [[0] * r for _ in range(n)]
+
+        #: rename map: logical reg -> producing ROB slot (-1 = value ready)
+        self.reg_map = [[-1] * 64 for _ in range(n)]
+
+        # --- statistics ------------------------------------------------------
+        self.stat_fetched = [0] * n
+        self.stat_wrongpath_fetched = [0] * n
+        self.stat_mispredicts = [0] * n
+        self.stat_flushes = [0] * n
+        self.stat_squashed = [0] * n
+        self.stat_icache_stalls = 0
+        self.stat_btb_bubbles = 0
+
+        self._commit_rotor = 0
+
+    # ------------------------------------------------------------------ warm
+
+    def warm(self) -> None:
+        """Warm caches, TLBs and predictors with each thread's window.
+
+        The paper measures steady-state segments of 300M instructions; our
+        short windows would otherwise be dominated by compulsory misses
+        and an untrained perceptron. Statistics accumulated here are reset
+        by the caller via fresh counters (see ``run_simulation``).
+        """
+        mem = self.mem
+        unit = self.branch_unit
+        for t, trace in enumerate(self.traces):
+            entries = trace.entries
+            length = trace.length
+            for i, e in enumerate(entries):
+                op = e[0]
+                if op == OP_LOAD or op == OP_STORE:
+                    mem.dtlb.access(e[4], t)
+                    if not mem.l1d.access(e[4], t):
+                        mem.l2.access(e[4], t)
+                elif op == OP_BRANCH:
+                    unit.predictor.update(t, e[6], bool(e[5]))
+                    if e[5]:
+                        unit.btb.update(t, e[6], entries[(i + 1) % length][6])
+                elif (op == OP_CALL or op == OP_RETURN) and e[5]:
+                    unit.btb.update(t, e[6], entries[(i + 1) % length][6])
+                mem.itlb.access(e[6], t)
+                mem.l1i.access(e[6], t)
+            # Wrong-path code lives in the basic-block dictionary too; a
+            # real front end finds most of it resident.
+            for e in trace.junk:
+                mem.itlb.access(e[6], t)
+                if not mem.l1i.access(e[6], t):
+                    mem.l2.access(e[6], t)
+
+    # ------------------------------------------------------------------- run
+
+    def run(self, max_cycles: Optional[int] = None) -> int:
+        """Simulate until a thread reaches the commit target (or the cycle
+        cap, a safety net). Returns the cycle count."""
+        if max_cycles is None:
+            max_cycles = 400 * self.commit_target + 10_000
+        step = self.step
+        while not self.finished and self.cycle < max_cycles:
+            step()
+        return self.cycle
+
+    def step(self) -> None:
+        """Advance one cycle: commit, writeback, issue, rename, fetch."""
+        self._commit()
+        self._writeback()
+        for pl in self.active_pipes:
+            self._issue(pl)
+        for pl in self.active_pipes:
+            self._rename(pl)
+        self._fetch()
+        self.cycle += 1
+
+    # ---------------------------------------------------------------- commit
+
+    def _commit(self) -> None:
+        rob_state = self.rob_state
+        rob_entry = self.rob_entry
+        mem = self.mem
+        target = self.commit_target
+        rotor = self._commit_rotor
+        self._commit_rotor += 1
+        for pl in self.active_pipes:
+            budget = pl.model.width
+            threads = pl.threads
+            nt = len(threads)
+            for k in range(nt):
+                if budget <= 0:
+                    break
+                t = threads[(rotor + k) % nt]
+                head = self.rob_head[t]
+                count = self.rob_count[t]
+                states = rob_state[t]
+                entries = rob_entry[t]
+                while budget > 0 and count > 0 and states[head] == S_DONE:
+                    e = entries[head]
+                    op = e[0]
+                    if op == OP_STORE:
+                        mem.store(e[4], t)
+                    dest = e[1]
+                    if dest >= 0:
+                        self.phys_free += 1
+                        if self.reg_map[t][dest] == head:
+                            self.reg_map[t][dest] = -1
+                    states[head] = S_FREE
+                    self.rob_deps[t][head] = []
+                    head = (head + 1) % self.rob_entries
+                    count -= 1
+                    budget -= 1
+                    c = self.committed[t] + 1
+                    self.committed[t] = c
+                    if c >= target:
+                        self.finished = True
+                self.rob_head[t] = head
+                self.rob_count[t] = count
+
+    # ------------------------------------------------------------- writeback
+
+    def _writeback(self) -> None:
+        evs = self.events.pop(self.cycle, None)
+        if not evs:
+            return
+        for kind, t, slot, ep in evs:
+            if self.rob_epoch[t][slot] != ep:
+                continue
+            if kind == EV_COMPLETE:
+                if self.rob_state[t][slot] != S_ISSUED:
+                    continue
+                self._complete(t, slot)
+            else:  # EV_FLUSHCHK: load still outstanding past the threshold?
+                if self.rob_state[t][slot] == S_ISSUED:
+                    self._do_flush(t, slot)
+
+    def _complete(self, t: int, slot: int) -> None:
+        self.rob_state[t][slot] = S_DONE
+        flags = self.rob_flags[t][slot]
+        if flags & FL_LOADCTR:
+            self.rob_flags[t][slot] = flags & ~FL_LOADCTR
+            self.inflight_loads[t] -= 1
+            if self.flush_wait[t] and self.flush_load_slot[t] == slot:
+                self.flush_wait[t] = False
+                self.flush_load_slot[t] = -1
+        # Wake dependents.
+        deps = self.rob_deps[t][slot]
+        if deps:
+            pend = self.rob_pending[t]
+            states = self.rob_state[t]
+            epochs = self.rob_epoch[t]
+            pl = self.pipelines[self.pipe_of[t]]
+            for d, dep_ep in deps:
+                if epochs[d] != dep_ep:
+                    continue
+                p = pend[d] - 1
+                pend[d] = p
+                if p == 0 and states[d] == S_WAITING:
+                    states[d] = S_READY
+                    fu = fu_class(self.rob_entry[t][d][0])
+                    heappush(pl.ready[fu], (self.rob_seq[t][d], t, d))
+            self.rob_deps[t][slot] = []
+        # Branch resolution.
+        e = self.rob_entry[t][slot]
+        op = e[0]
+        if op == OP_BRANCH or op == OP_CALL or op == OP_RETURN:
+            tidx = self.rob_traceidx[t][slot]
+            taken = bool(e[5])
+            if tidx >= 0:
+                target = self.traces[t].next_pc(tidx) if taken else e[6] + 4
+                self.branch_unit.resolve(t, e[6], op, taken, target)
+            if self.rob_flags[t][slot] & FL_MISPRED:
+                self.rob_flags[t][slot] &= ~FL_MISPRED
+                self.stat_mispredicts[t] += 1
+                self._squash_after(t, slot)
+                self.wrong_path[t] = False
+                if tidx >= 0:
+                    self.fetch_idx[t] = tidx + 1
+                # The redirect overrides any stall the wrong path incurred
+                # (e.g. a wrong-path I-cache miss): fetch restarts at the
+                # correct target after the front-end refill bubble. The
+                # 2-cycle hdSMT register file deepens the pipeline, so the
+                # refill grows by one cycle per extra read/write stage.
+                self.fetch_stall_until[t] = (
+                    self.cycle
+                    + self.params.branch_redirect_penalty
+                    + 2 * self.params.extra_reg_cycles
+                )
+
+    def _do_flush(self, t: int, load_slot: int) -> None:
+        """FLUSH policy: squash everything younger than the L2-missing
+        load and gate the thread's fetch until the load completes."""
+        self.stat_flushes[t] += 1
+        self._squash_after(t, load_slot)
+        self.wrong_path[t] = False
+        self.flush_wait[t] = True
+        self.flush_load_slot[t] = load_slot
+        self.fetch_idx[t] = self.rob_traceidx[t][load_slot] + 1
+        # Any wrong-path fetch stall dies with the flush.
+        self.fetch_stall_until[t] = self.cycle
+
+    # ---------------------------------------------------------------- squash
+
+    def _squash_after(self, t: int, bslot: int) -> None:
+        """Squash every instruction of ``t`` younger than ``bslot``:
+        roll the ROB tail back, release queue slots / rename registers /
+        load counters, restore the rename map, purge the fetch buffer."""
+        self.epoch[t] += 1
+        pl = self.pipelines[self.pipe_of[t]]
+        # Purge this thread's not-yet-renamed entries from the buffer
+        # (they are all younger than anything in the ROB).
+        buf = pl.buffer
+        if buf:
+            kept = [it for it in buf if it[0] != t]
+            removed = len(buf) - len(kept)
+            if removed:
+                buf.clear()
+                buf.extend(kept)
+                self.icount[t] -= removed
+                self.stat_squashed[t] += removed
+        r = self.rob_entries
+        tail = self.rob_tail[t]
+        # bslot is an occupied slot, so the strictly-younger range is
+        # bslot+1 .. tail-1 in ring order.
+        n_squash = (tail - bslot - 1) % r
+        states = self.rob_state[t]
+        entries = self.rob_entry[t]
+        flags_arr = self.rob_flags[t]
+        reg_map = self.reg_map[t]
+        for _ in range(n_squash):
+            tail = (tail - 1) % r
+            st = states[tail]
+            e = entries[tail]
+            if st == S_WAITING or st == S_READY:
+                pl.iq_used[fu_class(e[0])] -= 1
+                self.icount[t] -= 1
+            elif st == S_ISSUED:
+                if flags_arr[tail] & FL_LOADCTR:
+                    self.inflight_loads[t] -= 1
+            dest = e[1]
+            if dest >= 0:
+                self.phys_free += 1
+                if reg_map[dest] == tail:
+                    prev = self.rob_prevprod[t][tail]
+                    if (
+                        prev >= 0
+                        and self.rob_seq[t][prev] == self.rob_prevseq[t][tail]
+                        and states[prev] != S_FREE
+                    ):
+                        reg_map[dest] = prev
+                    else:
+                        reg_map[dest] = -1
+            states[tail] = S_FREE
+            flags_arr[tail] = 0
+            self.rob_deps[t][tail] = []
+            self.rob_count[t] -= 1
+            self.stat_squashed[t] += 1
+        self.rob_tail[t] = tail
+
+    # ----------------------------------------------------------------- issue
+
+    def _issue(self, pl: Pipeline) -> None:
+        budget = pl.model.width
+        fu_avail = list(pl.fu_count)
+        ready = pl.ready
+        rob_state = self.rob_state
+        rob_seq = self.rob_seq
+        extra = self.params.extra_reg_cycles
+        cyc = self.cycle
+        events = self.events
+        flushing = self.policy.flushing
+        flush_thr = self.params.memory.flush_threshold
+        while budget > 0:
+            # Age-ordered pick across the per-FU heaps with free units.
+            best_fu = -1
+            best_seq = None
+            for fu in (0, 1, 2):
+                if fu_avail[fu] <= 0:
+                    continue
+                heap = ready[fu]
+                # Drop stale heads (squashed/reused slots) lazily.
+                while heap:
+                    s, t, slot = heap[0]
+                    if rob_state[t][slot] == S_READY and rob_seq[t][slot] == s:
+                        break
+                    heappop(heap)
+                if heap and (best_seq is None or heap[0][0] < best_seq):
+                    best_seq = heap[0][0]
+                    best_fu = fu
+            if best_fu < 0:
+                return
+            s, t, slot = heappop(ready[best_fu])
+            fu_avail[best_fu] -= 1
+            budget -= 1
+            rob_state[t][slot] = S_ISSUED
+            pl.iq_used[best_fu] -= 1
+            pl.issued_total += 1
+            self.icount[t] -= 1
+            e = self.rob_entry[t][slot]
+            op = e[0]
+            if op == OP_LOAD:
+                res = self.mem.load(e[4], t)
+                lat = res.latency + extra
+                # The L1MCOUNT policy (a DCache-Warn variant) gates fetch
+                # on loads *likely to miss*: only loads that outlive an L1
+                # hit count toward the thread's in-flight-load priority.
+                if res.latency > self.params.memory.l1_latency:
+                    self.inflight_loads[t] += 1
+                    self.rob_flags[t][slot] |= FL_LOADCTR
+                if (
+                    flushing
+                    and res.latency > flush_thr
+                    and self.rob_traceidx[t][slot] >= 0
+                    and not self.flush_wait[t]
+                ):
+                    when = cyc + flush_thr
+                    ev = events.get(when)
+                    item = (EV_FLUSHCHK, t, slot, self.rob_epoch[t][slot])
+                    if ev is None:
+                        events[when] = [item]
+                    else:
+                        ev.append(item)
+            else:
+                lat = EXEC_LATENCY[op] + extra
+            when = cyc + (lat if lat > 0 else 1)
+            ev = events.get(when)
+            item = (EV_COMPLETE, t, slot, self.rob_epoch[t][slot])
+            if ev is None:
+                events[when] = [item]
+            else:
+                ev.append(item)
+
+    # ---------------------------------------------------------------- rename
+
+    def _rename(self, pl: Pipeline) -> None:
+        buf = pl.buffer
+        if not buf:
+            return
+        budget = pl.model.width
+        tpc = pl.model.threads_per_cycle
+        threads_seen: List[int] = []
+        iq_used = pl.iq_used
+        iq_cap = pl.iq_cap
+        r = self.rob_entries
+        while budget > 0 and buf:
+            t, e, tidx, flags = buf[0]
+            if t not in threads_seen:
+                if len(threads_seen) >= tpc:
+                    break
+            op = e[0]
+            fu = fu_class(op)
+            if iq_used[fu] >= iq_cap[fu]:
+                break
+            if self.rob_count[t] >= r:
+                break
+            dest = e[1]
+            if dest >= 0 and self.phys_free <= 0:
+                break
+            buf.popleft()
+            if t not in threads_seen:
+                threads_seen.append(t)
+            budget -= 1
+            slot = self.rob_tail[t]
+            self.rob_tail[t] = (slot + 1) % r
+            self.rob_count[t] += 1
+            self.rob_entry[t][slot] = e
+            self.rob_traceidx[t][slot] = tidx
+            ep = self.epoch[t]
+            self.rob_epoch[t][slot] = ep
+            self.rob_flags[t][slot] = flags
+            seq = self.seq
+            self.seq = seq + 1
+            self.rob_seq[t][slot] = seq
+            # Source dependences (must read the map before the dest write).
+            pending = 0
+            reg_map = self.reg_map[t]
+            states = self.rob_state[t]
+            for src in (e[2], e[3]):
+                if src >= 0:
+                    prod = reg_map[src]
+                    if prod >= 0 and states[prod] < S_DONE:
+                        pending += 1
+                        self.rob_deps[t][prod].append((slot, ep))
+            if dest >= 0:
+                prev = reg_map[dest]
+                self.rob_prevprod[t][slot] = prev
+                self.rob_prevseq[t][slot] = self.rob_seq[t][prev] if prev >= 0 else -1
+                reg_map[dest] = slot
+                self.phys_free -= 1
+            else:
+                self.rob_prevprod[t][slot] = -1
+                self.rob_prevseq[t][slot] = -1
+            self.rob_pending[t][slot] = pending
+            iq_used[fu] += 1
+            if pending == 0:
+                states[slot] = S_READY
+                heappush(pl.ready[fu], (seq, t, slot))
+            else:
+                states[slot] = S_WAITING
+
+    # ----------------------------------------------------------------- fetch
+
+    def _fetch(self) -> None:
+        cyc = self.cycle
+        policy = self.policy
+        candidates = []
+        for t in range(self.num_threads):
+            if self.flush_wait[t] or cyc < self.fetch_stall_until[t]:
+                continue
+            if self.pipelines[self.pipe_of[t]].buffer_space() <= 0:
+                continue
+            candidates.append(t)
+        if not candidates:
+            return
+        if len(candidates) > 1:
+            candidates.sort(key=lambda t: policy.sort_key(self, t))
+        remaining = self.params.fetch_width
+        threads_used = 0
+        max_threads = self.params.fetch_threads
+        for t in candidates:
+            if remaining <= 0 or threads_used >= max_threads:
+                break
+            threads_used += 1
+            remaining -= self._fetch_thread(t, remaining)
+
+    def _fetch_thread(self, t: int, budget: int) -> int:
+        """Fetch one packet for thread ``t``; returns instructions taken."""
+        pl = self.pipelines[self.pipe_of[t]]
+        space = pl.buffer_space()
+        limit = budget if budget < space else space
+        if limit <= 0:
+            return 0
+        trace = self.traces[t]
+        cyc = self.cycle
+        # One I-cache/I-TLB probe per packet (head PC).
+        if self.wrong_path[t]:
+            head_pc = trace.junk_entry(self.junk_idx[t])[6]
+        else:
+            head_pc = trace.entry(self.fetch_idx[t])[6]
+        res = self.mem.fetch(head_pc, t)
+        if res.latency > 0:
+            self.fetch_stall_until[t] = cyc + res.latency
+            self.stat_icache_stalls += 1
+            return 0
+        taken_count = 0
+        buf = pl.buffer
+        unit = self.branch_unit
+        while taken_count < limit:
+            if self.wrong_path[t]:
+                e = trace.junk_entry(self.junk_idx[t])
+                self.junk_idx[t] += 1
+                tidx = -1
+                flags = FL_WRONGPATH
+                self.stat_wrongpath_fetched[t] += 1
+            else:
+                tidx = self.fetch_idx[t]
+                e = trace.entry(tidx)
+                self.fetch_idx[t] = tidx + 1
+                flags = 0
+            op = e[0]
+            if op == OP_BRANCH or op == OP_CALL or op == OP_RETURN:
+                actual_taken = bool(e[5])
+                actual_target = trace.next_pc(tidx) if tidx >= 0 else e[6] + 4
+                pred = unit.predict(t, e[6], op, actual_taken, actual_target)
+                if pred.direction_mispredict or (
+                    op == OP_RETURN and pred.target_mispredict
+                ):
+                    # Full mispredict: fetch goes down the wrong path until
+                    # this branch resolves in the execute stage.
+                    flags |= FL_MISPRED
+                    unit.note_direction_mispredict()
+                    self.wrong_path[t] = True
+                    buf.append((t, e, tidx, flags))
+                    self.icount[t] += 1
+                    taken_count += 1
+                    self.stat_fetched[t] += 1
+                    if pred.taken:
+                        break  # fetch redirects (to the wrong target)
+                    continue  # wrong path continues sequentially (junk)
+                buf.append((t, e, tidx, flags))
+                self.icount[t] += 1
+                taken_count += 1
+                self.stat_fetched[t] += 1
+                if pred.taken:
+                    if not pred.target_known:
+                        # Direction right but no target from BTB: short
+                        # front-end bubble while decode computes it.
+                        self.fetch_stall_until[t] = cyc + self.params.btb_miss_penalty
+                        self.stat_btb_bubbles += 1
+                    break  # taken prediction ends the packet
+            else:
+                buf.append((t, e, tidx, flags))
+                self.icount[t] += 1
+                taken_count += 1
+                self.stat_fetched[t] += 1
+        return taken_count
+
+    # ------------------------------------------------------------- reporting
+
+    def aggregate_ipc(self) -> float:
+        """Committed correct-path instructions per cycle, all threads."""
+        if self.cycle == 0:
+            return 0.0
+        return sum(self.committed) / self.cycle
+
+    def thread_ipc(self, t: int) -> float:
+        if self.cycle == 0:
+            return 0.0
+        return self.committed[t] / self.cycle

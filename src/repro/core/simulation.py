@@ -1,0 +1,147 @@
+"""High-level simulation entry points.
+
+``run_simulation`` assembles traces + processor for one (configuration,
+workload, mapping) triple, warms the structures, runs to the commit
+target and returns a :class:`SimResult`. The experiment drivers in
+:mod:`repro.experiments` build the paper's figures out of these calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import MicroarchConfig, get_config
+from repro.core.processor import Processor
+from repro.trace.stream import Trace, trace_for
+
+__all__ = ["SimResult", "run_simulation", "run_workload", "default_trace_length"]
+
+
+def default_trace_length(commit_target: int) -> int:
+    """Trace window sized to the commit target (wrapping covers overrun)."""
+    return max(4096, commit_target)
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Outcome of one simulation run."""
+
+    config_name: str
+    benchmarks: Tuple[str, ...]
+    mapping: Tuple[int, ...]
+    cycles: int
+    committed: Tuple[int, ...]
+    commit_target: int
+    ipc: float  #: aggregate committed instructions / cycle
+    thread_ipc: Tuple[float, ...]
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.benchmarks)
+
+    def describe(self) -> str:
+        per = ", ".join(
+            f"{b}={i:.3f}" for b, i in zip(self.benchmarks, self.thread_ipc)
+        )
+        return (
+            f"{self.config_name} {list(self.mapping)} "
+            f"IPC={self.ipc:.3f} ({per}) cycles={self.cycles}"
+        )
+
+
+def run_simulation(
+    config: MicroarchConfig | str,
+    benchmarks: Sequence[str],
+    mapping: Sequence[int],
+    commit_target: int = 10_000,
+    trace_length: Optional[int] = None,
+    warmup: bool = True,
+    max_cycles: Optional[int] = None,
+) -> SimResult:
+    """Simulate one workload on one configuration under one mapping.
+
+    Parameters
+    ----------
+    config:
+        A :class:`MicroarchConfig` or a standard configuration name.
+    benchmarks:
+        SPECint2000 benchmark names, one per thread (workload order).
+    mapping:
+        ``mapping[thread] = pipeline_index``.
+    commit_target:
+        Stop as soon as one thread commits this many instructions (the
+        paper's stop rule, scaled down from 300M).
+    trace_length:
+        Generated window per thread; defaults to the commit target.
+    warmup:
+        Stream each trace through caches/TLBs/predictors before timing
+        and reset the counters (steady-state measurement).
+    """
+    if isinstance(config, str):
+        config = get_config(config)
+    if trace_length is None:
+        trace_length = default_trace_length(commit_target)
+    traces: List[Trace] = []
+    seen: Dict[str, int] = {}
+    for name in benchmarks:
+        # Repeated benchmarks within one workload get distinct instances.
+        inst = seen.get(name, 0)
+        seen[name] = inst + 1
+        traces.append(trace_for(name, trace_length, instance=inst))
+    proc = Processor(config, traces, mapping, commit_target)
+    if warmup:
+        proc.warm()
+        proc.mem.reset_stats()
+        proc.branch_unit.reset_stats()
+    cycles = proc.run(max_cycles=max_cycles)
+    n = proc.num_threads
+    stats = {
+        "l1d_miss_rate": proc.mem.l1d.stats.miss_rate,
+        "l1i_miss_rate": proc.mem.l1i.stats.miss_rate,
+        "l2_miss_rate": proc.mem.l2.stats.miss_rate,
+        "dtlb_miss_rate": proc.mem.dtlb.miss_rate,
+        "branch_mispredict_rate": proc.branch_unit.predictor.mispredict_rate,
+        "mispredicts": float(sum(proc.stat_mispredicts)),
+        "flushes": float(sum(proc.stat_flushes)),
+        "squashed": float(sum(proc.stat_squashed)),
+        "wrongpath_fetched": float(sum(proc.stat_wrongpath_fetched)),
+        "fetched": float(sum(proc.stat_fetched)),
+        "icache_stalls": float(proc.stat_icache_stalls),
+        "btb_bubbles": float(proc.stat_btb_bubbles),
+    }
+    return SimResult(
+        config_name=config.name,
+        benchmarks=tuple(benchmarks),
+        mapping=tuple(mapping),
+        cycles=cycles,
+        committed=tuple(proc.committed),
+        commit_target=commit_target,
+        ipc=proc.aggregate_ipc(),
+        thread_ipc=tuple(proc.thread_ipc(t) for t in range(n)),
+        stats=stats,
+    )
+
+
+def run_workload(
+    config: MicroarchConfig | str,
+    benchmarks: Sequence[str],
+    commit_target: int = 10_000,
+    **kwargs,
+) -> SimResult:
+    """Run with the trivial mapping for monolithic configs, or the
+    paper's heuristic mapping otherwise (convenience wrapper)."""
+    from repro.core.mapping import heuristic_mapping
+    from repro.trace.profiling import profile_benchmark
+
+    if isinstance(config, str):
+        config = get_config(config)
+    if config.is_monolithic:
+        mapping: Tuple[int, ...] = (0,) * len(benchmarks)
+    else:
+        misses = [
+            profile_benchmark(b).misses_per_kilo_instruction for b in benchmarks
+        ]
+        mapping = heuristic_mapping(config, misses)
+    return run_simulation(config, benchmarks, mapping, commit_target, **kwargs)

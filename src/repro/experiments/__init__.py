@@ -1,0 +1,33 @@
+"""Experiment drivers that regenerate every table and figure of the paper.
+
+* :mod:`repro.experiments.scale` — scaling knobs (env `REPRO_SIM_SCALE`);
+* :mod:`repro.experiments.performance` — Figs. 4 & 5 (IPC and IPC/mm²,
+  BEST/HEUR/WORST per configuration × workload, harmonic-mean summaries);
+* :mod:`repro.experiments.summary` — the §5 headline numbers;
+* :mod:`repro.experiments.ablations` — additional studies (fetch policy,
+  register latency, fetch-buffer size, mapping policies).
+"""
+
+from repro.experiments.scale import ExperimentScale, default_scale
+from repro.experiments.performance import (
+    WorkloadResult,
+    evaluate_config_workload,
+    run_performance_experiment,
+    fig4_table,
+    fig5_table,
+    class_size_means,
+)
+from repro.experiments.summary import headline_summary, HeadlineSummary
+
+__all__ = [
+    "ExperimentScale",
+    "default_scale",
+    "WorkloadResult",
+    "evaluate_config_workload",
+    "run_performance_experiment",
+    "fig4_table",
+    "fig5_table",
+    "class_size_means",
+    "headline_summary",
+    "HeadlineSummary",
+]

@@ -1,0 +1,153 @@
+"""Headline numbers of §5.
+
+The paper's summary claims, regenerated from the Fig. 4/5 sweep:
+
+* hdSMT improves performance-per-area over the monolithic SMT baseline by
+  ~13 % and over homogeneously clustered SMT by ~14 % (best-PPA hdSMT,
+  HEUR mapping);
+* monolithic SMT keeps a ~6 % raw-performance edge over hdSMT, while
+  hdSMT beats homogeneous clustering by ~7 % raw;
+* the heuristic's accuracy (HEUR/BEST) is high and configuration
+  dependent: 92 % on 2M4+2M2, 96 % on 1M6+2M4+2M2, 88 % on 3M4+2M2 in
+  the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.config import (
+    HETEROGENEOUS_CONFIG_NAMES,
+    HOMOGENEOUS_CONFIG_NAMES,
+)
+from repro.experiments.performance import (
+    WorkloadResult,
+    run_performance_experiment,
+)
+from repro.experiments.scale import ExperimentScale
+from repro.metrics.stats import harmonic_mean, heuristic_accuracy, relative_improvement
+from repro.metrics.tables import format_table
+from repro.workloads.definitions import WORKLOADS
+
+__all__ = ["HeadlineSummary", "headline_summary", "summary_report"]
+
+
+@dataclass
+class HeadlineSummary:
+    """Computed counterparts of the paper's §5 claims."""
+
+    #: hmean PPA per config (HEUR mapping) over the common workload set
+    ppa_by_config: Dict[str, float] = field(default_factory=dict)
+    #: hmean raw IPC per config (HEUR mapping)
+    ipc_by_config: Dict[str, float] = field(default_factory=dict)
+    best_ppa_hdsmt: str = ""
+    best_ipc_hdsmt: str = ""
+    #: PPA improvement of the best hdSMT over the M8 baseline (paper: +13 %)
+    ppa_gain_vs_monolithic: float = 0.0
+    #: PPA improvement of the best hdSMT over the best homogeneous (+14 %)
+    ppa_gain_vs_homogeneous: float = 0.0
+    #: raw-IPC edge of M8 over the best hdSMT (paper: +6 %)
+    ipc_gain_monolithic_vs_hdsmt: float = 0.0
+    #: raw-IPC edge of the best hdSMT over the best homogeneous (+7 %)
+    ipc_gain_hdsmt_vs_homogeneous: float = 0.0
+    #: per-config heuristic accuracy, PPA-based (paper: 92/96/88 %)
+    heuristic_accuracy: Dict[str, float] = field(default_factory=dict)
+
+
+def _common_workloads(results: Mapping[str, Mapping[str, WorkloadResult]]) -> List[str]:
+    """Workloads evaluated on every configuration (fair hmean base)."""
+    sets = [set(per) for per in results.values() if per]
+    if not sets:
+        return []
+    common = set.intersection(*sets)
+    return [w for w in WORKLOADS if w in common]
+
+
+def headline_summary(
+    results: Optional[Mapping[str, Mapping[str, WorkloadResult]]] = None,
+    scale: Optional[ExperimentScale] = None,
+    config_names: Optional[Sequence[str]] = None,
+) -> HeadlineSummary:
+    """Compute the §5 headline numbers (running the sweep if needed)."""
+    if results is None:
+        results = run_performance_experiment(scale=scale)
+    common = _common_workloads(results)
+    if not common:
+        raise ValueError("no common workloads across configurations")
+    out = HeadlineSummary()
+    for config, per in results.items():
+        out.ipc_by_config[config] = harmonic_mean([per[w].ipc("heur") for w in common])
+        out.ppa_by_config[config] = harmonic_mean([per[w].ppa("heur") for w in common])
+
+    hetero = [c for c in HETEROGENEOUS_CONFIG_NAMES if c in results]
+    homog = [c for c in HOMOGENEOUS_CONFIG_NAMES if c in results]
+    if not hetero or not homog or "M8" not in results:
+        return out
+
+    out.best_ppa_hdsmt = max(hetero, key=lambda c: out.ppa_by_config[c])
+    out.best_ipc_hdsmt = max(hetero, key=lambda c: out.ipc_by_config[c])
+    best_homog_ppa = max(homog, key=lambda c: out.ppa_by_config[c])
+    best_homog_ipc = max(homog, key=lambda c: out.ipc_by_config[c])
+
+    out.ppa_gain_vs_monolithic = relative_improvement(
+        out.ppa_by_config[out.best_ppa_hdsmt], out.ppa_by_config["M8"]
+    )
+    out.ppa_gain_vs_homogeneous = relative_improvement(
+        out.ppa_by_config[out.best_ppa_hdsmt], out.ppa_by_config[best_homog_ppa]
+    )
+    out.ipc_gain_monolithic_vs_hdsmt = relative_improvement(
+        out.ipc_by_config["M8"], out.ipc_by_config[out.best_ipc_hdsmt]
+    )
+    out.ipc_gain_hdsmt_vs_homogeneous = relative_improvement(
+        out.ipc_by_config[out.best_ipc_hdsmt], out.ipc_by_config[best_homog_ipc]
+    )
+
+    # Heuristic accuracy per heterogeneous config (PPA-based HEUR/BEST over
+    # the workloads where a real mapping choice existed).
+    for config in hetero:
+        per = results[config]
+        heur_vals, best_vals = [], []
+        for w in common:
+            wr = per[w]
+            if wr.degenerate:
+                continue
+            heur_vals.append(wr.ppa("heur"))
+            best_vals.append(wr.ppa("best"))
+        if heur_vals:
+            out.heuristic_accuracy[config] = heuristic_accuracy(heur_vals, best_vals)
+    return out
+
+
+def summary_report(summary: HeadlineSummary) -> str:
+    """The §5 claims, ours vs the paper's, as a text table."""
+    rows = [
+        [
+            "PPA gain: best hdSMT vs monolithic SMT",
+            f"{100 * summary.ppa_gain_vs_monolithic:+.1f}%",
+            "+13%",
+        ],
+        [
+            "PPA gain: best hdSMT vs homogeneous clustered",
+            f"{100 * summary.ppa_gain_vs_homogeneous:+.1f}%",
+            "+14%",
+        ],
+        [
+            "raw IPC: monolithic vs best hdSMT",
+            f"{100 * summary.ipc_gain_monolithic_vs_hdsmt:+.1f}%",
+            "+6%",
+        ],
+        [
+            "raw IPC: best hdSMT vs homogeneous clustered",
+            f"{100 * summary.ipc_gain_hdsmt_vs_homogeneous:+.1f}%",
+            "+7%",
+        ],
+    ]
+    for config, acc in summary.heuristic_accuracy.items():
+        paper = {"2M4+2M2": "92%", "1M6+2M4+2M2": "96%", "3M4+2M2": "88%"}.get(
+            config, "-"
+        )
+        rows.append([f"heuristic accuracy on {config}", f"{100 * acc:.0f}%", paper])
+    return format_table(
+        ["claim", "measured", "paper"], rows, title="§5 headline summary"
+    )

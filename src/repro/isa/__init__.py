@@ -1,0 +1,73 @@
+"""Instruction-set model used by the trace-driven simulator.
+
+The paper's traces are Alpha AXP-21264 binaries; our synthetic substrate
+keeps the same architectural shape: 32 integer + 32 floating-point logical
+registers and a small set of instruction *classes* (the timing model only
+needs the class, the register operands, the memory address for loads and
+stores and the direction/target for branches).
+"""
+
+from repro.isa.opcodes import (
+    OP_INT,
+    OP_MUL,
+    OP_FP,
+    OP_LOAD,
+    OP_STORE,
+    OP_BRANCH,
+    OP_CALL,
+    OP_RETURN,
+    OP_NOP,
+    OP_CLASS_NAMES,
+    EXEC_LATENCY,
+    is_branch_class,
+    is_memory_class,
+    fu_class,
+    FU_INT,
+    FU_FP,
+    FU_LDST,
+    FU_CLASS_NAMES,
+)
+from repro.isa.registers import (
+    NUM_INT_REGS,
+    NUM_FP_REGS,
+    NUM_LOGICAL_REGS,
+    REG_NONE,
+    int_reg,
+    fp_reg,
+    is_fp_reg,
+    reg_name,
+)
+from repro.isa.instruction import Instruction, TraceEntry, pack_entry, unpack_entry
+
+__all__ = [
+    "OP_INT",
+    "OP_MUL",
+    "OP_FP",
+    "OP_LOAD",
+    "OP_STORE",
+    "OP_BRANCH",
+    "OP_CALL",
+    "OP_RETURN",
+    "OP_NOP",
+    "OP_CLASS_NAMES",
+    "EXEC_LATENCY",
+    "is_branch_class",
+    "is_memory_class",
+    "fu_class",
+    "FU_INT",
+    "FU_FP",
+    "FU_LDST",
+    "FU_CLASS_NAMES",
+    "NUM_INT_REGS",
+    "NUM_FP_REGS",
+    "NUM_LOGICAL_REGS",
+    "REG_NONE",
+    "int_reg",
+    "fp_reg",
+    "is_fp_reg",
+    "reg_name",
+    "Instruction",
+    "TraceEntry",
+    "pack_entry",
+    "unpack_entry",
+]

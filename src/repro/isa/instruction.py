@@ -1,0 +1,101 @@
+"""Trace-entry representation.
+
+Two views of the same data:
+
+* ``TraceEntry`` — a plain 7-tuple ``(op_class, dest, src1, src2, addr,
+  taken, pc)`` used by the hot simulation loops (one list index plus tuple
+  unpack per instruction, no attribute lookups).
+* ``Instruction`` — a friendly dataclass for the public API, tests and
+  examples, convertible to/from the packed tuple.
+
+Fields
+------
+op_class : int       one of the ``repro.isa.opcodes`` OP_* constants
+dest     : int       flattened destination register id or REG_NONE
+src1     : int       first source register id or REG_NONE
+src2     : int       second source register id or REG_NONE
+addr     : int       byte address for loads/stores (0 otherwise)
+taken    : int       1 if a control instruction is taken, else 0
+pc       : int       byte address of the instruction
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.isa.opcodes import OP_CLASS_NAMES, is_branch_class, is_memory_class
+from repro.isa.registers import REG_NONE, reg_name
+
+TraceEntry = Tuple[int, int, int, int, int, int, int]
+
+# Tuple field offsets, exported for hot loops that index instead of unpack.
+F_OP = 0
+F_DEST = 1
+F_SRC1 = 2
+F_SRC2 = 3
+F_ADDR = 4
+F_TAKEN = 5
+F_PC = 6
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One dynamic instruction of a trace (friendly view)."""
+
+    op_class: int
+    dest: int = REG_NONE
+    src1: int = REG_NONE
+    src2: int = REG_NONE
+    addr: int = 0
+    taken: bool = False
+    pc: int = 0
+
+    @property
+    def is_branch(self) -> bool:
+        return is_branch_class(self.op_class)
+
+    @property
+    def is_memory(self) -> bool:
+        return is_memory_class(self.op_class)
+
+    def pack(self) -> TraceEntry:
+        """Pack into the hot-path tuple form."""
+        return (
+            self.op_class,
+            self.dest,
+            self.src1,
+            self.src2,
+            self.addr,
+            1 if self.taken else 0,
+            self.pc,
+        )
+
+    @classmethod
+    def unpack(cls, entry: TraceEntry) -> "Instruction":
+        """Build the friendly view from a packed tuple."""
+        op, dest, src1, src2, addr, taken, pc = entry
+        return cls(op, dest, src1, src2, addr, bool(taken), pc)
+
+    def __str__(self) -> str:
+        parts = [OP_CLASS_NAMES[self.op_class]]
+        if self.dest != REG_NONE:
+            parts.append(reg_name(self.dest))
+        srcs = [reg_name(s) for s in (self.src1, self.src2) if s != REG_NONE]
+        if srcs:
+            parts.append("<- " + ",".join(srcs))
+        if self.is_memory:
+            parts.append(f"@{self.addr:#x}")
+        if self.is_branch:
+            parts.append("taken" if self.taken else "not-taken")
+        return f"[{self.pc:#x}] " + " ".join(parts)
+
+
+def pack_entry(instr: Instruction) -> TraceEntry:
+    """Module-level alias of :meth:`Instruction.pack`."""
+    return instr.pack()
+
+
+def unpack_entry(entry: TraceEntry) -> Instruction:
+    """Module-level alias of :meth:`Instruction.unpack`."""
+    return Instruction.unpack(entry)

@@ -1,0 +1,82 @@
+"""Instruction classes and their execution latencies.
+
+The timing simulator only distinguishes instruction *classes*; plain module
+level integer constants (not an ``enum``) keep the hot fetch/issue loops
+free of attribute lookups, per the profiling guidance for tight Python
+inner loops.
+"""
+
+from __future__ import annotations
+
+# --- instruction classes -------------------------------------------------
+OP_INT = 0  #: simple integer ALU operation (add, logic, shift, compare)
+OP_MUL = 1  #: integer multiply (longer latency, integer unit)
+OP_FP = 2  #: floating-point arithmetic
+OP_LOAD = 3  #: memory load (latency resolved by the cache hierarchy)
+OP_STORE = 4  #: memory store (retires through the cache at commit)
+OP_BRANCH = 5  #: conditional branch
+OP_CALL = 6  #: direct call (pushes the return-address stack)
+OP_RETURN = 7  #: return (pops the return-address stack)
+OP_NOP = 8  #: no-operation / padding
+
+NUM_OP_CLASSES = 9
+
+OP_CLASS_NAMES = (
+    "int",
+    "mul",
+    "fp",
+    "load",
+    "store",
+    "branch",
+    "call",
+    "return",
+    "nop",
+)
+
+# --- execution latencies (cycles in the execute stage) -------------------
+# Loads are the exception: their latency comes from the memory hierarchy at
+# issue time; the value here is only the address-generation component.
+EXEC_LATENCY = (
+    1,  # OP_INT
+    3,  # OP_MUL
+    4,  # OP_FP
+    1,  # OP_LOAD   (address generation; cache latency added on top)
+    1,  # OP_STORE
+    1,  # OP_BRANCH
+    1,  # OP_CALL
+    1,  # OP_RETURN
+    1,  # OP_NOP
+)
+
+# --- functional-unit classes ---------------------------------------------
+FU_INT = 0
+FU_FP = 1
+FU_LDST = 2
+FU_CLASS_NAMES = ("int", "fp", "ldst")
+
+_FU_OF_OP = (
+    FU_INT,  # OP_INT
+    FU_INT,  # OP_MUL
+    FU_FP,  # OP_FP
+    FU_LDST,  # OP_LOAD
+    FU_LDST,  # OP_STORE
+    FU_INT,  # OP_BRANCH
+    FU_INT,  # OP_CALL
+    FU_INT,  # OP_RETURN
+    FU_INT,  # OP_NOP
+)
+
+
+def fu_class(op_class: int) -> int:
+    """Return the functional-unit class (FU_INT/FU_FP/FU_LDST) for an op class."""
+    return _FU_OF_OP[op_class]
+
+
+def is_branch_class(op_class: int) -> bool:
+    """True for any control-transfer class (branch, call, return)."""
+    return op_class == OP_BRANCH or op_class == OP_CALL or op_class == OP_RETURN
+
+
+def is_memory_class(op_class: int) -> bool:
+    """True for loads and stores."""
+    return op_class == OP_LOAD or op_class == OP_STORE

@@ -1,0 +1,46 @@
+"""Logical (architectural) register model.
+
+Alpha-style: 32 integer plus 32 floating-point registers flattened into a
+single 0..63 namespace so the renamer can use one map table per thread.
+``REG_NONE`` marks an absent operand.
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+NUM_LOGICAL_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+#: Sentinel for "no register operand"; chosen as -1 so hot-path checks are
+#: simple ``>= 0`` comparisons.
+REG_NONE = -1
+
+
+def int_reg(index: int) -> int:
+    """Flattened id of integer register ``index`` (0..31)."""
+    if not 0 <= index < NUM_INT_REGS:
+        raise ValueError(f"integer register index out of range: {index}")
+    return index
+
+
+def fp_reg(index: int) -> int:
+    """Flattened id of floating-point register ``index`` (0..31)."""
+    if not 0 <= index < NUM_FP_REGS:
+        raise ValueError(f"fp register index out of range: {index}")
+    return NUM_INT_REGS + index
+
+
+def is_fp_reg(reg: int) -> bool:
+    """True when the flattened register id names an FP register."""
+    return reg >= NUM_INT_REGS
+
+
+def reg_name(reg: int) -> str:
+    """Human-readable name ('r7', 'f3', or '-' for REG_NONE)."""
+    if reg == REG_NONE:
+        return "-"
+    if reg < 0 or reg >= NUM_LOGICAL_REGS:
+        raise ValueError(f"register id out of range: {reg}")
+    if reg < NUM_INT_REGS:
+        return f"r{reg}"
+    return f"f{reg - NUM_INT_REGS}"

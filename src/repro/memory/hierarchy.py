@@ -1,0 +1,169 @@
+"""Two-level cache hierarchy shared by every pipeline.
+
+Latency model (Table 1, and the conventions spelled out in DESIGN.md):
+
+* instruction or data access hitting L1 — ``l1_latency`` (3 cycles);
+* L1 miss, L2 hit — ``l1_latency + l1_miss_penalty`` (3 + 22 = 25 cycles
+  total; the paper's "miss penalty 22" is the L2 service time seen by L1);
+* L2 miss — the above plus ``memory_latency`` (250 cycles);
+* TLB miss on either path adds ``tlb_miss_penalty`` (300 cycles).
+
+The separate ``l2_latency`` (12 cycles) is the L2 *probe* time; it sets
+the FLUSH fetch-policy trigger threshold (``l1_latency + l2_latency``):
+any load outstanding longer than that is assumed to have missed in L2
+(Tullsen & Brown's rule adopted by the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.tlb import TranslationBuffer
+
+__all__ = ["MemoryParams", "MemoryHierarchy", "AccessResult"]
+
+
+@dataclass(frozen=True)
+class MemoryParams:
+    """Every memory-system parameter from Table 1 (overridable for studies)."""
+
+    l1i_size: int = 64 * 1024
+    l1i_ways: int = 2
+    l1i_banks: int = 8
+    l1d_size: int = 64 * 1024
+    l1d_ways: int = 2
+    l1d_banks: int = 8
+    l2_size: int = 512 * 1024
+    l2_ways: int = 2
+    l2_banks: int = 8
+    line_bytes: int = 64
+    l1_latency: int = 3
+    l1_miss_penalty: int = 22
+    l2_latency: int = 12
+    memory_latency: int = 250
+    itlb_entries: int = 48
+    dtlb_entries: int = 128
+    tlb_miss_penalty: int = 300
+    page_bytes: int = 8192
+
+    @property
+    def l2_hit_total(self) -> int:
+        """Total load-to-use latency for an L1-miss / L2-hit access."""
+        return self.l1_latency + self.l1_miss_penalty
+
+    @property
+    def l2_miss_total(self) -> int:
+        """Total latency for an access missing all the way to memory."""
+        return self.l1_latency + self.l1_miss_penalty + self.memory_latency
+
+    @property
+    def flush_threshold(self) -> int:
+        """Cycles after which FLUSH declares an outstanding load an L2 miss."""
+        return self.l1_latency + self.l2_latency
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one memory access."""
+
+    latency: int  #: total cycles until the value is available
+    l1_hit: bool
+    l2_hit: bool  #: meaningful only when ``not l1_hit``
+    tlb_hit: bool
+    bank: int  #: L1 bank servicing the access
+
+
+class MemoryHierarchy:
+    """Shared I/D L1s + unified L2 + TLBs, returning access latencies.
+
+    One instance per simulated processor; pipelines and threads all probe
+    the same arrays, so inter-thread interference (the phenomenon hdSMT's
+    mapping policy tries to manage) emerges naturally.
+    """
+
+    __slots__ = ("params", "l1i", "l1d", "l2", "itlb", "dtlb")
+
+    def __init__(self, params: MemoryParams | None = None, max_threads: int = 8) -> None:
+        p = params or MemoryParams()
+        self.params = p
+        self.l1i = SetAssociativeCache(
+            p.l1i_size, p.l1i_ways, p.line_bytes, p.l1i_banks, max_threads, "L1I"
+        )
+        self.l1d = SetAssociativeCache(
+            p.l1d_size, p.l1d_ways, p.line_bytes, p.l1d_banks, max_threads, "L1D"
+        )
+        self.l2 = SetAssociativeCache(
+            p.l2_size, p.l2_ways, p.line_bytes, p.l2_banks, max_threads, "L2"
+        )
+        self.itlb = TranslationBuffer(p.itlb_entries, p.page_bytes, "ITLB")
+        self.dtlb = TranslationBuffer(p.dtlb_entries, p.page_bytes, "DTLB")
+
+    # -- hot paths -------------------------------------------------------------
+
+    def load(self, addr: int, thread: int) -> AccessResult:
+        """Data load: DTLB + L1D + (on miss) L2. Returns total latency."""
+        p = self.params
+        tlb_hit = self.dtlb.access(addr, thread)
+        latency = p.l1_latency if tlb_hit else p.l1_latency + p.tlb_miss_penalty
+        l1_hit = self.l1d.access(addr, thread)
+        l2_hit = True
+        if not l1_hit:
+            latency += p.l1_miss_penalty
+            l2_hit = self.l2.access(addr, thread)
+            if not l2_hit:
+                latency += p.memory_latency
+        return AccessResult(latency, l1_hit, l2_hit, tlb_hit, self.l1d.bank_of(addr))
+
+    def store(self, addr: int, thread: int) -> AccessResult:
+        """Data store at commit: write-allocate into L1D/L2, no stall
+        returned to the pipeline (retirement-time store buffer drain)."""
+        p = self.params
+        tlb_hit = self.dtlb.access(addr, thread)
+        l1_hit = self.l1d.access(addr, thread)
+        l2_hit = True
+        if not l1_hit:
+            l2_hit = self.l2.access(addr, thread)
+        latency = 0 if tlb_hit else p.tlb_miss_penalty
+        return AccessResult(latency, l1_hit, l2_hit, tlb_hit, self.l1d.bank_of(addr))
+
+    def fetch(self, pc: int, thread: int) -> AccessResult:
+        """Instruction fetch: ITLB + L1I + (on miss) L2.
+
+        Returns the *stall* the fetch packet suffers: 0 extra cycles on an
+        L1I hit (the pipeline depth already covers the 3-cycle hit), the
+        miss penalties otherwise.
+        """
+        p = self.params
+        tlb_hit = self.itlb.access(pc, thread)
+        latency = 0 if tlb_hit else p.tlb_miss_penalty
+        l1_hit = self.l1i.access(pc, thread)
+        l2_hit = True
+        if not l1_hit:
+            latency += p.l1_miss_penalty
+            l2_hit = self.l2.access(pc, thread)
+            if not l2_hit:
+                latency += p.memory_latency
+        return AccessResult(latency, l1_hit, l2_hit, tlb_hit, self.l1i.bank_of(pc))
+
+    # -- maintenance -------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Cold caches/TLBs (between independent simulations)."""
+        self.l1i.invalidate_all()
+        self.l1d.invalidate_all()
+        self.l2.invalidate_all()
+        self.itlb.invalidate_all()
+        self.dtlb.invalidate_all()
+
+    def reset_stats(self) -> None:
+        """Zero every counter, keep contents warm (post-warm-up)."""
+        self.l1i.reset_stats()
+        self.l1d.reset_stats()
+        self.l2.reset_stats()
+        self.itlb.reset_stats()
+        self.dtlb.reset_stats()
+
+    def dcache_misses(self, thread: int) -> int:
+        """Per-thread L1D miss count (the heuristic mapping's profile input)."""
+        return self.l1d.stats.per_thread_misses[thread]

@@ -1,0 +1,67 @@
+"""Translation look-aside buffers.
+
+Table 1: 48-entry I-TLB, 128-entry D-TLB, 300-cycle miss penalty. Entry
+counts are not powers of two, so the TLBs are modeled fully associative
+with exact LRU (an ordered dict keyed by (thread, virtual page)); threads
+share the structure, tagged by address-space id as real SMTs do.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Tuple
+
+__all__ = ["TranslationBuffer"]
+
+
+class TranslationBuffer:
+    """Fully-associative, LRU, thread-tagged TLB."""
+
+    __slots__ = ("entries", "page_bytes", "_page_shift", "_map", "accesses", "misses")
+
+    def __init__(self, entries: int, page_bytes: int = 8192, name: str = "tlb") -> None:
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        if page_bytes & (page_bytes - 1):
+            raise ValueError("page_bytes must be a power of two")
+        self.entries = entries
+        self.page_bytes = page_bytes
+        self._page_shift = page_bytes.bit_length() - 1
+        self._map: "OrderedDict[Tuple[int, int], bool]" = OrderedDict()
+        self.accesses = 0
+        self.misses = 0
+
+    def access(self, addr: int, thread: int = 0) -> bool:
+        """Translate: True on TLB hit, False on miss (entry then filled)."""
+        key = (thread, addr >> self._page_shift)
+        m = self._map
+        self.accesses += 1
+        if key in m:
+            m.move_to_end(key)
+            return True
+        self.misses += 1
+        if len(m) >= self.entries:
+            m.popitem(last=False)
+        m[key] = True
+        return False
+
+    def invalidate_all(self) -> None:
+        self._map.clear()
+
+    def reset_stats(self) -> None:
+        """Zero counters, keep translations (post-warm-up)."""
+        self.accesses = 0
+        self.misses = 0
+
+    def invalidate_thread(self, thread: int) -> None:
+        """Drop one thread's translations (context switch)."""
+        stale = [k for k in self._map if k[0] == thread]
+        for k in stale:
+            del self._map[k]
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def __len__(self) -> int:
+        return len(self._map)

@@ -1,0 +1,24 @@
+"""Metrics and result tabulation: IPC aggregation (harmonic means, as the
+paper uses for workload-class summaries), performance-per-area, mapping
+heuristic accuracy, and plain-text table rendering for the benches."""
+
+from repro.metrics.stats import (
+    harmonic_mean,
+    arithmetic_mean,
+    geometric_mean,
+    performance_per_area,
+    relative_improvement,
+    heuristic_accuracy,
+)
+from repro.metrics.tables import format_table, format_grouped_bars
+
+__all__ = [
+    "harmonic_mean",
+    "arithmetic_mean",
+    "geometric_mean",
+    "performance_per_area",
+    "relative_improvement",
+    "heuristic_accuracy",
+    "format_table",
+    "format_grouped_bars",
+]

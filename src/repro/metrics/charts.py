@@ -1,0 +1,71 @@
+"""ASCII bar charts — terminal renderings of the paper's figures.
+
+`format_bar_chart` renders grouped horizontal bars (one row per
+(group, config, series) value) so the Fig. 4/Fig. 5 artifacts can be read
+as charts, not just tables. Pure text: no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+__all__ = ["format_bar_chart", "render_figure"]
+
+
+def format_bar_chart(
+    values: Mapping[str, float],
+    title: Optional[str] = None,
+    width: int = 50,
+    value_fmt: str = "{:.3f}",
+) -> str:
+    """Horizontal bars for a flat label -> value mapping."""
+    if not values:
+        raise ValueError("no values to chart")
+    vmax = max(values.values())
+    if vmax <= 0:
+        raise ValueError("chart needs at least one positive value")
+    label_w = max(len(k) for k in values)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, v in values.items():
+        bar = "#" * max(0, round(width * v / vmax))
+        lines.append(f"{label.ljust(label_w)} |{bar} {value_fmt.format(v)}")
+    return "\n".join(lines)
+
+
+def render_figure(
+    groups: Sequence[str],
+    bars: Sequence[str],
+    series: Mapping[str, Mapping[str, Mapping[str, float]]],
+    which: str = "HEUR",
+    title: Optional[str] = None,
+    width: int = 44,
+    value_fmt: str = "{:.3f}",
+) -> str:
+    """Fig. 4/5-shaped data (``series[group][config][series_name]``) as a
+    grouped ASCII chart of one series (default HEUR)."""
+    vmax = 0.0
+    for g in groups:
+        for b in bars:
+            v = series.get(g, {}).get(b, {}).get(which)
+            if v is not None and v > vmax:
+                vmax = v
+    if vmax <= 0:
+        raise ValueError(f"no {which} values to chart")
+    label_w = max((len(b) for b in bars), default=4)
+    lines = []
+    if title:
+        lines.append(title)
+    for g in groups:
+        row = series.get(g, {})
+        if not any(which in row.get(b, {}) for b in bars):
+            continue
+        lines.append(f"-- {g} --")
+        for b in bars:
+            v = row.get(b, {}).get(which)
+            if v is None:
+                continue
+            bar = "#" * max(0, round(width * v / vmax))
+            lines.append(f"  {b.ljust(label_w)} |{bar} {value_fmt.format(v)}")
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Statistical helpers for the evaluation.
+
+The paper summarizes each workload class/size with the harmonic mean of
+workload IPCs (the appropriate mean for rates), and compares designs with
+Performance per Area = IPC / mm².
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = [
+    "harmonic_mean",
+    "arithmetic_mean",
+    "geometric_mean",
+    "performance_per_area",
+    "relative_improvement",
+    "heuristic_accuracy",
+]
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean; raises on empty input or non-positive values."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("harmonic mean of empty sequence")
+    for v in vals:
+        if v <= 0:
+            raise ValueError(f"harmonic mean requires positive values, got {v}")
+    return len(vals) / sum(1.0 / v for v in vals)
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    vals = list(values)
+    if not vals:
+        raise ValueError("mean of empty sequence")
+    return sum(vals) / len(vals)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    vals = list(values)
+    if not vals:
+        raise ValueError("geometric mean of empty sequence")
+    for v in vals:
+        if v <= 0:
+            raise ValueError(f"geometric mean requires positive values, got {v}")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def performance_per_area(ipc: float, area_mm2: float) -> float:
+    """IPC per mm² — the paper's complexity-effectiveness metric."""
+    if area_mm2 <= 0:
+        raise ValueError("area must be positive")
+    return ipc / area_mm2
+
+
+def relative_improvement(ours: float, baseline: float) -> float:
+    """(ours - baseline) / baseline; e.g. +0.13 == the paper's '13%'."""
+    if baseline == 0:
+        raise ValueError("baseline must be nonzero")
+    return (ours - baseline) / baseline
+
+
+def heuristic_accuracy(heur: Sequence[float], best: Sequence[float]) -> float:
+    """Mean of per-workload HEUR/BEST ratios (the paper's 'accuracy').
+
+    1.0 means the heuristic always found the oracle mapping's score.
+    """
+    if len(heur) != len(best) or not heur:
+        raise ValueError("need equal-length, non-empty sequences")
+    ratios = []
+    for h, b in zip(heur, best):
+        if b <= 0:
+            raise ValueError("oracle values must be positive")
+        ratios.append(min(1.0, h / b))
+    return sum(ratios) / len(ratios)

@@ -1,0 +1,76 @@
+"""Plain-text table/bar rendering for the benchmark harness output.
+
+The benches regenerate the paper's figures as text: `format_table` gives
+aligned numeric tables, `format_grouped_bars` the grouped-bar structure of
+Figs. 4 and 5 (groups = workload size/class, bars = microarchitectures,
+series = BEST/HEUR/WORST).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_grouped_bars"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_fmt: str = "{:.4f}",
+) -> str:
+    """Render an aligned monospace table."""
+    def cell(v: object) -> str:
+        if isinstance(v, float):
+            return float_fmt.format(v)
+        return str(v)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, s in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(s))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(
+            "  ".join(s.rjust(w) if i else s.ljust(w) for i, (s, w) in enumerate(zip(row, widths)))
+        )
+    return "\n".join(lines)
+
+
+def format_grouped_bars(
+    groups: Sequence[str],
+    bars: Sequence[str],
+    series: Mapping[str, Mapping[str, Mapping[str, float]]],
+    title: Optional[str] = None,
+    value_fmt: str = "{:.4f}",
+) -> str:
+    """Render Fig.4/Fig.5-style data: ``series[group][bar][series_name]``.
+
+    Produces one row per (group, bar) with one column per series name,
+    mirroring the paper's grouped bar charts in text form.
+    """
+    series_names: List[str] = []
+    for g in groups:
+        for b in bars:
+            for s in series.get(g, {}).get(b, {}):
+                if s not in series_names:
+                    series_names.append(s)
+    headers = ["group", "config"] + series_names
+    rows: List[List[object]] = []
+    for g in groups:
+        for b in bars:
+            vals = series.get(g, {}).get(b)
+            if vals is None:
+                continue
+            row: List[object] = [g, b]
+            for s in series_names:
+                v = vals.get(s)
+                row.append(value_fmt.format(v) if isinstance(v, float) else (v if v is not None else "-"))
+            rows.append(row)
+    return format_table(headers, rows, title=title)

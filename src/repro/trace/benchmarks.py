@@ -1,0 +1,358 @@
+"""Statistical profiles of the 12 SPECint2000 benchmarks.
+
+Each profile captures the published qualitative character of the benchmark
+(instruction mix, branch predictability, working-set size / memory
+boundedness, code footprint, instruction-level parallelism) as generator
+parameters. Absolute rates will not match hardware counters from 2005; the
+*ordering* across benchmarks — which is all the paper's workload classes
+and mapping heuristic consume — does:
+
+* memory-bound (paper's MEM class): mcf >> twolf > vpr > perlbmk;
+* ILP-bound (paper's ILP class): eon, gap, vortex, gzip, bzip2, crafty,
+  gcc, parser — small working sets, predictable branches;
+* large code footprints (gcc, vortex, crafty, perlbmk) stress the I-cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = [
+    "BenchmarkProfile",
+    "BENCHMARKS",
+    "BENCHMARK_NAMES",
+    "ILP_BENCHMARKS",
+    "MEM_BENCHMARKS",
+    "get_benchmark",
+]
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Generator parameters for one synthetic benchmark.
+
+    Fractions are of all dynamic instructions unless stated otherwise and
+    the remainder after loads/stores/branches/mul/fp is simple integer ALU
+    work.
+    """
+
+    name: str
+    workload_class: str  #: "ILP" or "MEM" (paper's classification)
+
+    # --- instruction mix -------------------------------------------------
+    load_frac: float = 0.25
+    store_frac: float = 0.10
+    branch_frac: float = 0.13  #: conditional branches + calls + returns
+    mul_frac: float = 0.02
+    fp_frac: float = 0.00
+
+    # --- dependency structure (ILP) --------------------------------------
+    #: mean register dependency distance in instructions (geometric);
+    #: larger means more independent work in flight (more ILP).
+    dep_distance_mean: float = 5.0
+    #: probability an instruction has a second source operand.
+    two_src_frac: float = 0.45
+
+    # --- static branch population ----------------------------------------
+    #: fraction of static conditional branches that are loop back-edges
+    #: (taken n-1 of n, highly predictable).
+    loop_branch_frac: float = 0.40
+    #: fraction that follow a history-correlated (perceptron-learnable)
+    #: pattern; the rest are biased-random.
+    pattern_branch_frac: float = 0.35
+    #: taken-probability of the biased-random branches.
+    random_branch_bias: float = 0.70
+    #: mean iteration count of loop branches.
+    loop_trip_mean: float = 12.0
+    #: fraction of control transfers that are calls (matched by returns).
+    call_frac: float = 0.08
+
+    # --- memory behaviour --------------------------------------------------
+    #: pages touched by the hot data set (reuse-heavy region).
+    hot_pages: int = 6
+    #: pages of the full working set (cold/streaming region).
+    cold_pages: int = 24
+    #: probability a data access goes to the hot region.
+    hot_frac: float = 0.85
+    #: probability a data access is part of a sequential/stride stream.
+    stream_frac: float = 0.60
+    #: probability a load's address depends on the previous load
+    #: (pointer chasing — serializes misses, kills memory-level parallelism).
+    chain_frac: float = 0.05
+
+    # --- code footprint ------------------------------------------------------
+    num_blocks: int = 1200  #: static basic blocks
+
+    def __post_init__(self) -> None:
+        total = self.load_frac + self.store_frac + self.branch_frac + self.mul_frac + self.fp_frac
+        if total >= 1.0:
+            raise ValueError(f"{self.name}: instruction-mix fractions sum to {total} >= 1")
+        if self.workload_class not in ("ILP", "MEM"):
+            raise ValueError(f"{self.name}: workload_class must be ILP or MEM")
+
+    @property
+    def int_frac(self) -> float:
+        """Remaining fraction: simple integer ALU instructions."""
+        return 1.0 - (
+            self.load_frac + self.store_frac + self.branch_frac + self.mul_frac + self.fp_frac
+        )
+
+    @property
+    def working_set_bytes(self) -> int:
+        """Total data footprint (hot + cold regions), 8 KB pages."""
+        return (self.hot_pages + self.cold_pages) * 8192
+
+    @property
+    def mean_block_size(self) -> float:
+        """Mean basic-block length implied by the branch fraction (every
+        block ends in exactly one control instruction)."""
+        return 1.0 / self.branch_frac
+
+    @property
+    def code_bytes(self) -> int:
+        """Approximate static code footprint."""
+        return int(self.num_blocks * self.mean_block_size * 4)
+
+
+# ---------------------------------------------------------------------------
+# The 12 SPECint2000 profiles. Page counts assume 8 KB pages; L1D covers
+# 8 pages (64 KB), the D-TLB covers 128 pages (1 MB), L2 covers 64 pages.
+# ---------------------------------------------------------------------------
+
+BENCHMARKS: Dict[str, BenchmarkProfile] = {
+    p.name: p
+    for p in (
+        # ---------------- ILP class ----------------
+        BenchmarkProfile(
+            name="gzip",
+            workload_class="ILP",
+            load_frac=0.20,
+            store_frac=0.09,
+            branch_frac=0.12,
+            mul_frac=0.01,
+            dep_distance_mean=5.5,
+            loop_branch_frac=0.50,
+            pattern_branch_frac=0.35,
+            random_branch_bias=0.85,
+            hot_pages=5,
+            cold_pages=8,
+            hot_frac=0.90,
+            stream_frac=0.75,
+            num_blocks=700,
+        ),
+        BenchmarkProfile(
+            name="gcc",
+            workload_class="ILP",
+            load_frac=0.25,
+            store_frac=0.13,
+            branch_frac=0.16,
+            mul_frac=0.01,
+            dep_distance_mean=4.5,
+            loop_branch_frac=0.35,
+            pattern_branch_frac=0.45,
+            random_branch_bias=0.82,
+            call_frac=0.12,
+            hot_pages=6,
+            cold_pages=8,
+            hot_frac=0.90,
+            stream_frac=0.60,
+            num_blocks=3600,  # famously large code footprint
+        ),
+        BenchmarkProfile(
+            name="crafty",
+            workload_class="ILP",
+            load_frac=0.27,
+            store_frac=0.07,
+            branch_frac=0.11,
+            mul_frac=0.02,
+            dep_distance_mean=5.2,
+            loop_branch_frac=0.35,
+            pattern_branch_frac=0.50,
+            random_branch_bias=0.85,
+            hot_pages=6,
+            cold_pages=10,
+            hot_frac=0.88,
+            stream_frac=0.50,
+            num_blocks=2200,
+        ),
+        BenchmarkProfile(
+            name="eon",
+            workload_class="ILP",
+            load_frac=0.25,
+            store_frac=0.14,
+            branch_frac=0.09,
+            mul_frac=0.02,
+            fp_frac=0.08,  # the one SPECint with real FP content
+            dep_distance_mean=6.0,
+            loop_branch_frac=0.55,
+            pattern_branch_frac=0.38,
+            random_branch_bias=0.90,
+            call_frac=0.14,
+            hot_pages=4,
+            cold_pages=4,
+            hot_frac=0.95,
+            stream_frac=0.70,
+            num_blocks=900,
+        ),
+        BenchmarkProfile(
+            name="gap",
+            workload_class="ILP",
+            load_frac=0.24,
+            store_frac=0.12,
+            branch_frac=0.11,
+            mul_frac=0.03,
+            dep_distance_mean=5.0,
+            loop_branch_frac=0.50,
+            pattern_branch_frac=0.40,
+            random_branch_bias=0.85,
+            hot_pages=6,
+            cold_pages=10,
+            hot_frac=0.88,
+            stream_frac=0.65,
+            num_blocks=1400,
+        ),
+        BenchmarkProfile(
+            name="vortex",
+            workload_class="ILP",
+            load_frac=0.28,
+            store_frac=0.16,
+            branch_frac=0.14,
+            mul_frac=0.01,
+            dep_distance_mean=5.5,
+            loop_branch_frac=0.40,
+            pattern_branch_frac=0.50,
+            random_branch_bias=0.88,
+            call_frac=0.15,
+            hot_pages=7,
+            cold_pages=14,
+            hot_frac=0.85,
+            stream_frac=0.55,
+            num_blocks=3000,
+        ),
+        BenchmarkProfile(
+            name="bzip2",
+            workload_class="ILP",
+            load_frac=0.26,
+            store_frac=0.11,
+            branch_frac=0.11,
+            mul_frac=0.02,
+            dep_distance_mean=5.0,
+            loop_branch_frac=0.45,
+            pattern_branch_frac=0.40,
+            random_branch_bias=0.92,
+            hot_pages=6,
+            cold_pages=12,
+            hot_frac=0.86,
+            stream_frac=0.70,
+            num_blocks=650,
+        ),
+        BenchmarkProfile(
+            name="parser",
+            workload_class="ILP",
+            load_frac=0.24,
+            store_frac=0.09,
+            branch_frac=0.15,
+            mul_frac=0.01,
+            dep_distance_mean=4.2,
+            loop_branch_frac=0.35,
+            pattern_branch_frac=0.45,
+            random_branch_bias=0.90,
+            hot_pages=7,
+            cold_pages=14,
+            hot_frac=0.85,
+            stream_frac=0.45,
+            chain_frac=0.08,
+            num_blocks=1600,
+        ),
+        # ---------------- MEM class ----------------
+        BenchmarkProfile(
+            name="mcf",
+            workload_class="MEM",
+            load_frac=0.31,
+            store_frac=0.09,
+            branch_frac=0.16,
+            mul_frac=0.01,
+            dep_distance_mean=3.6,
+            loop_branch_frac=0.30,
+            pattern_branch_frac=0.35,
+            random_branch_bias=0.78,
+            hot_pages=48,
+            cold_pages=768,  # 6 MB: far beyond L2, pounds the D-TLB too
+            hot_frac=0.52,
+            stream_frac=0.15,
+            chain_frac=0.30,  # pointer chasing: little memory-level parallelism
+            num_blocks=500,
+        ),
+        BenchmarkProfile(
+            name="twolf",
+            workload_class="MEM",
+            load_frac=0.28,
+            store_frac=0.07,
+            branch_frac=0.13,
+            mul_frac=0.02,
+            dep_distance_mean=3.6,
+            loop_branch_frac=0.30,
+            pattern_branch_frac=0.35,
+            random_branch_bias=0.80,
+            hot_pages=24,
+            cold_pages=96,  # ~1 MB: misses L1 heavily, L2 partially
+            hot_frac=0.62,
+            stream_frac=0.25,
+            chain_frac=0.22,
+            num_blocks=1100,
+        ),
+        BenchmarkProfile(
+            name="vpr",
+            workload_class="MEM",
+            load_frac=0.29,
+            store_frac=0.10,
+            branch_frac=0.12,
+            mul_frac=0.02,
+            fp_frac=0.03,
+            dep_distance_mean=3.8,
+            loop_branch_frac=0.30,
+            pattern_branch_frac=0.35,
+            random_branch_bias=0.82,
+            hot_pages=20,
+            cold_pages=72,  # ~0.7 MB
+            hot_frac=0.66,
+            stream_frac=0.30,
+            chain_frac=0.18,
+            num_blocks=1000,
+        ),
+        BenchmarkProfile(
+            name="perlbmk",
+            workload_class="MEM",
+            load_frac=0.27,
+            store_frac=0.15,
+            branch_frac=0.15,
+            mul_frac=0.01,
+            dep_distance_mean=4.0,
+            loop_branch_frac=0.30,
+            pattern_branch_frac=0.45,
+            random_branch_bias=0.82,
+            call_frac=0.13,
+            hot_pages=16,
+            cold_pages=40,  # ~0.4 MB: mildest of the MEM set
+            hot_frac=0.72,
+            stream_frac=0.35,
+            chain_frac=0.12,
+            num_blocks=2600,
+        ),
+    )
+}
+
+BENCHMARK_NAMES = tuple(BENCHMARKS)
+ILP_BENCHMARKS = tuple(n for n, p in BENCHMARKS.items() if p.workload_class == "ILP")
+MEM_BENCHMARKS = tuple(n for n, p in BENCHMARKS.items() if p.workload_class == "MEM")
+
+
+def get_benchmark(name: str) -> BenchmarkProfile:
+    """Look up a benchmark profile by SPEC name (KeyError lists options)."""
+    try:
+        return BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {', '.join(BENCHMARK_NAMES)}"
+        ) from None

@@ -1,0 +1,59 @@
+"""Composite traces: programs whose behaviour changes mid-run.
+
+The paper's conclusion motivates *dynamic* mapping with "the dynamic
+changes in program behaviour during execution". The stationary synthetic
+benchmarks cannot exercise that, so a composite trace splices two
+benchmark streams: the thread behaves like benchmark A for the first
+``switch_at`` instructions of every window, then like benchmark B. A
+profile-based static mapping (taken on the A phase) becomes stale the
+moment the B phase starts — exactly the scenario dynamic remapping wins.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.instruction import TraceEntry
+from repro.trace.benchmarks import get_benchmark
+from repro.trace.stream import Trace
+from repro.trace.synthetic import StaticProgram, TraceGenerator
+
+__all__ = ["composite_trace"]
+
+
+def composite_trace(
+    name_a: str,
+    name_b: str,
+    length: int,
+    switch_at: int | None = None,
+    seed: int = 0,
+) -> Trace:
+    """A trace that behaves like ``name_a`` then like ``name_b``.
+
+    Parameters
+    ----------
+    name_a, name_b:
+        Benchmark names for the two phases.
+    length:
+        Total window length (instructions).
+    switch_at:
+        Instruction index of the phase change (default: midpoint).
+
+    The entries of phase B keep their own code addresses (a different
+    program region), so the phase change also shows up in the I-stream.
+    """
+    if switch_at is None:
+        switch_at = length // 2
+    if not 0 < switch_at < length:
+        raise ValueError("switch_at must fall inside the window")
+    prof_a = get_benchmark(name_a)
+    prof_b = get_benchmark(name_b)
+    gen_a = TraceGenerator(StaticProgram(prof_a, seed=0), seed=seed)
+    gen_b = TraceGenerator(StaticProgram(prof_b, seed=1), seed=seed + 1)
+    entries: List[TraceEntry] = gen_a.generate(switch_at)
+    entries += gen_b.generate(length - switch_at)
+    junk = gen_a.generate_junk(1024) + gen_b.generate_junk(1024)
+    # The composite reports phase A's profile (what an offline profiling
+    # pass over the *start* of execution would see — the stale input a
+    # static mapping policy consumes).
+    return Trace(f"{name_a}->{name_b}", prof_a, entries, junk)

@@ -1,0 +1,96 @@
+"""Trace objects consumed by the simulator, with a process-wide cache.
+
+A :class:`Trace` bundles the correct-path entries, a wrong-path junk pool
+and the benchmark identity. Entry access wraps modulo the generated length
+— the synthetic streams are stationary, so wrapping mimics the paper's
+practice of letting slower threads keep executing until the first thread
+retires its full instruction budget.
+
+``trace_for`` memoizes generated traces so that every microarchitecture /
+mapping evaluated on a workload sees *exactly* the same instruction
+stream (paired comparison, and a large speedup for the oracle mapping
+search).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.isa.instruction import TraceEntry
+from repro.trace.benchmarks import BenchmarkProfile, get_benchmark
+from repro.trace.synthetic import StaticProgram, TraceGenerator
+
+__all__ = ["Trace", "trace_for", "clear_trace_cache"]
+
+
+class Trace:
+    """An immutable dynamic instruction stream for one thread."""
+
+    __slots__ = ("name", "profile", "entries", "junk", "length")
+
+    def __init__(
+        self,
+        name: str,
+        profile: BenchmarkProfile,
+        entries: List[TraceEntry],
+        junk: List[TraceEntry],
+    ) -> None:
+        if not entries:
+            raise ValueError("trace must contain at least one instruction")
+        if not junk:
+            raise ValueError("trace needs a wrong-path junk pool")
+        self.name = name
+        self.profile = profile
+        self.entries = entries
+        self.junk = junk
+        self.length = len(entries)
+
+    def entry(self, index: int) -> TraceEntry:
+        """Correct-path entry ``index`` (wraps modulo the trace length)."""
+        return self.entries[index % self.length]
+
+    def next_pc(self, index: int) -> int:
+        """PC of the instruction after ``index`` — i.e. the actual target
+        of the instruction at ``index`` along the executed path."""
+        return self.entries[(index + 1) % self.length][6]
+
+    def junk_entry(self, index: int) -> TraceEntry:
+        """Wrong-path pool entry (wraps)."""
+        return self.junk[index % len(self.junk)]
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Trace {self.name}: {self.length} instructions>"
+
+
+_CACHE: Dict[Tuple[str, int, int], Trace] = {}
+_JUNK_LEN = 2048
+
+
+def trace_for(name: str, length: int, instance: int = 0) -> Trace:
+    """Return (building if needed) the trace for benchmark ``name``.
+
+    ``instance`` differentiates multiple occurrences of the same benchmark
+    so, e.g., the two copies of twolf across workloads 2W4 and 2W6 are the
+    same stream (paper traces are fixed per benchmark), while a benchmark
+    running against itself in a hypothetical workload could use distinct
+    instances.
+    """
+    key = (name, length, instance)
+    trace = _CACHE.get(key)
+    if trace is None:
+        profile = get_benchmark(name)
+        program = StaticProgram(profile, seed=0)
+        gen = TraceGenerator(program, seed=instance)
+        entries = gen.generate(length)
+        junk = gen.generate_junk(_JUNK_LEN)
+        trace = Trace(name, profile, entries, junk)
+        _CACHE[key] = trace
+    return trace
+
+
+def clear_trace_cache() -> None:
+    """Drop all memoized traces (tests / memory pressure)."""
+    _CACHE.clear()

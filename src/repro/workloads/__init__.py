@@ -1,0 +1,23 @@
+"""Multiprogrammed workloads — Tables 2 and 3 of the paper."""
+
+from repro.workloads.definitions import (
+    Workload,
+    WORKLOADS,
+    WORKLOAD_NAMES,
+    workloads_by,
+    get_workload,
+    TWO_THREAD,
+    FOUR_THREAD,
+    SIX_THREAD,
+)
+
+__all__ = [
+    "Workload",
+    "WORKLOADS",
+    "WORKLOAD_NAMES",
+    "workloads_by",
+    "get_workload",
+    "TWO_THREAD",
+    "FOUR_THREAD",
+    "SIX_THREAD",
+]

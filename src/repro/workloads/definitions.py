@@ -1,0 +1,114 @@
+"""Workload tables (Tables 2 and 3).
+
+Workloads are classified by the paper: ILP (I) — all high-ILP threads;
+MEM (M) — all memory-bound threads; MIX (X) — both kinds. "Due to the
+characteristics of SPECint2000, with few benchmarks that are really
+memory bounded, MEM workloads are only feasible for 2 and 4 threads."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.trace.benchmarks import BENCHMARKS
+
+__all__ = [
+    "Workload",
+    "WORKLOADS",
+    "WORKLOAD_NAMES",
+    "workloads_by",
+    "get_workload",
+    "TWO_THREAD",
+    "FOUR_THREAD",
+    "SIX_THREAD",
+]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One multiprogrammed workload."""
+
+    name: str  #: paper id, e.g. '2W4'
+    benchmarks: Tuple[str, ...]
+    workload_class: str  #: 'ILP' | 'MEM' | 'MIX'
+
+    def __post_init__(self) -> None:
+        for b in self.benchmarks:
+            if b not in BENCHMARKS:
+                raise ValueError(f"{self.name}: unknown benchmark {b!r}")
+        if self.workload_class not in ("ILP", "MEM", "MIX"):
+            raise ValueError(f"{self.name}: bad class {self.workload_class!r}")
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.benchmarks)
+
+    def __str__(self) -> str:
+        return f"{self.name}({','.join(self.benchmarks)})"
+
+
+def _w(name: str, benchmarks: str, cls: str) -> Workload:
+    return Workload(name, tuple(benchmarks.split()), cls)
+
+
+WORKLOADS: Dict[str, Workload] = {
+    w.name: w
+    for w in (
+        # ------- Table 2: two-threaded -------
+        _w("2W1", "eon gcc", "ILP"),
+        _w("2W2", "crafty bzip2", "ILP"),
+        _w("2W3", "gap vortex", "ILP"),
+        _w("2W4", "mcf twolf", "MEM"),
+        _w("2W5", "vpr perlbmk", "MEM"),
+        _w("2W6", "vpr twolf", "MEM"),
+        _w("2W7", "gzip twolf", "MIX"),
+        _w("2W8", "crafty perlbmk", "MIX"),
+        _w("2W9", "parser vpr", "MIX"),
+        # ------- Table 2: four-threaded -------
+        _w("4W1", "eon gcc gzip bzip2", "ILP"),
+        _w("4W2", "crafty bzip2 eon gzip", "ILP"),
+        _w("4W3", "gap vortex parser crafty", "ILP"),
+        _w("4W4", "mcf twolf vpr perlbmk", "MEM"),
+        _w("4W5", "vpr perlbmk mcf twolf", "MEM"),
+        _w("4W6", "gzip twolf bzip2 mcf", "MIX"),
+        _w("4W7", "crafty perlbmk mcf bzip2", "MIX"),
+        _w("4W8", "parser vpr vortex twolf", "MIX"),
+        _w("4W9", "vpr twolf gap vortex", "MIX"),
+        # ------- Table 3: six-threaded -------
+        _w("6W1", "gzip gcc crafty eon gap bzip2", "ILP"),
+        _w("6W2", "gcc crafty parser eon gap vortex", "ILP"),
+        _w("6W3", "gzip vpr mcf eon perlbmk bzip2", "MIX"),
+        _w("6W4", "vpr mcf crafty perlbmk vortex twolf", "MIX"),
+    )
+}
+
+WORKLOAD_NAMES: Tuple[str, ...] = tuple(WORKLOADS)
+
+TWO_THREAD = tuple(n for n in WORKLOAD_NAMES if n.startswith("2"))
+FOUR_THREAD = tuple(n for n in WORKLOAD_NAMES if n.startswith("4"))
+SIX_THREAD = tuple(n for n in WORKLOAD_NAMES if n.startswith("6"))
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload by paper id ('2W4', '6W1', ...)."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(WORKLOAD_NAMES)}"
+        ) from None
+
+
+def workloads_by(
+    num_threads: int | None = None, workload_class: str | None = None
+) -> List[Workload]:
+    """Filter workloads by size and/or class, in table order."""
+    out = []
+    for w in WORKLOADS.values():
+        if num_threads is not None and w.num_threads != num_threads:
+            continue
+        if workload_class is not None and w.workload_class != workload_class:
+            continue
+        out.append(w)
+    return out

@@ -1,0 +1,140 @@
+"""Unit tests: calibrated area model — must reproduce Fig. 3."""
+
+import pytest
+
+from repro.area.model import (
+    AREA_M8_TOTAL_MM2,
+    AreaModel,
+    area_report,
+    config_area,
+    pipeline_model_area,
+    stage_breakdown,
+)
+from repro.core.config import get_config
+from repro.core.models import PipelineModel
+
+
+#: Paper Fig. 3 annotations: config -> delta vs M8 (percent).
+FIG3_DELTAS = {
+    "M8": 0.0,
+    "3M4": -17.0,
+    "4M4": +10.14,
+    "2M4+2M2": -27.0,
+    "3M4+2M2": -1.0,
+    "1M6+2M4+2M2": +2.0,
+}
+
+
+@pytest.mark.parametrize("name,delta", FIG3_DELTAS.items())
+def test_fig3_deltas_within_tolerance(name, delta):
+    base = config_area("M8")
+    measured = 100.0 * (config_area(name) - base) / base
+    assert measured == pytest.approx(delta, abs=1.5)
+
+
+def test_only_4m4_and_biggest_hdsmt_exceed_baseline():
+    """§4.1: 'all but two microarchitectures (4M4 and 1M6+2M4+2M2) require
+    less area than the monolithic SMT baseline'."""
+    base = config_area("M8")
+    for name in FIG3_DELTAS:
+        if name == "M8":
+            continue
+        if name in ("4M4", "1M6+2M4+2M2"):
+            assert config_area(name) > base
+        else:
+            assert config_area(name) < base
+
+
+def test_m8_absolute_scale():
+    assert config_area("M8") == pytest.approx(AREA_M8_TOTAL_MM2)
+
+
+def test_model_area_ordering():
+    assert (
+        pipeline_model_area("M8")
+        > pipeline_model_area("M6")
+        > pipeline_model_area("M4")
+        > pipeline_model_area("M2")
+    )
+
+
+def test_stage_breakdown_sums_to_total():
+    for m in ("M8", "M6", "M4", "M2"):
+        bd = stage_breakdown(m)
+        assert sum(bd.values()) == pytest.approx(pipeline_model_area(m))
+
+
+def test_hdsmt_fetch_overhead():
+    am = AreaModel()
+    assert am.fetch_area(hdsmt=True) == pytest.approx(1.2 * am.fetch_area(hdsmt=False))
+
+
+def test_hdsmt_models_carry_bigger_fetch():
+    """Fig. 2(b): M6/M4/M2 bars include a fetch stage 20% bigger than M8's."""
+    assert stage_breakdown("M4")["IF"] == pytest.approx(
+        1.2 * stage_breakdown("M8")["IF"]
+    )
+
+
+def test_custom_scale():
+    am = AreaModel(m8_total_mm2=330.0)
+    assert am.config_area("M8") == pytest.approx(330.0)
+    assert am.config_area("3M4") / am.config_area("M8") == pytest.approx(0.83, abs=0.001)
+
+
+def test_extrapolated_model_area_reasonable():
+    """Uncalibrated models interpolate: a width-3 pipeline must land
+    between M2 and M4."""
+    m3 = PipelineModel(
+        name="M3",
+        contexts=1,
+        width=3,
+        threads_per_cycle=1,
+        iq_entries=24,
+        fq_entries=24,
+        lq_entries=24,
+        int_units=2,
+        fp_units=1,
+        ldst_units=1,
+        fetch_buffer=16,
+    )
+    am = AreaModel()
+    a3 = am.backend_area(m3)
+    assert am.backend_area(PipelineModel(
+        name="M2", contexts=1, width=2, threads_per_cycle=1, iq_entries=16,
+        fq_entries=16, lq_entries=16, int_units=1, fp_units=1, ldst_units=1,
+        fetch_buffer=16,
+    )) < a3 < am.backend_area(PipelineModel(
+        name="M4", contexts=2, width=4, threads_per_cycle=2, iq_entries=32,
+        fq_entries=32, lq_entries=32, int_units=3, fp_units=2, ldst_units=2,
+        fetch_buffer=32,
+    ))
+
+
+def test_extrapolation_consistent_with_calibration():
+    """Structural extrapolation evaluated on the calibrated models should
+    stay within ~20% of their calibrated areas."""
+    from repro.area.structures import structural_backend_score
+    from repro.area.model import BACKEND_FRACTIONS
+    from repro.core.models import MODELS_BY_NAME
+
+    am = AreaModel()
+    for name in ("M6", "M4", "M2"):
+        frac = BACKEND_FRACTIONS[name]
+        struct = structural_backend_score(MODELS_BY_NAME[name]) * am._struct_scale
+        assert struct == pytest.approx(frac, rel=0.25)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        AreaModel(m8_total_mm2=-1)
+
+
+def test_area_report_smoke():
+    s = area_report(["M8", "3M4"])
+    assert "M8" in s and "-17.00%" in s
+
+
+def test_invalid_config_area_raises():
+    with pytest.raises((KeyError, ValueError)):
+        config_area("17Q3")

@@ -1,0 +1,36 @@
+"""Unit tests: structural area scores."""
+
+from repro.area.structures import STAGE_NAMES, structural_backend_score, structural_scores
+from repro.core.models import M2, M4, M6, M8
+
+
+def test_stage_names_match_paper_legend():
+    assert STAGE_NAMES == ("IF", "DE", "DI", "EX", "IC", "DEQ", "DIQ", "CQ")
+
+
+def test_scores_positive():
+    for m in (M8, M6, M4, M2):
+        for stage, s in structural_scores(m).items():
+            assert s > 0, stage
+
+
+def test_backend_monotone_in_model_size():
+    s8 = structural_backend_score(M8)
+    s6 = structural_backend_score(M6)
+    s4 = structural_backend_score(M4)
+    s2 = structural_backend_score(M2)
+    assert s8 > s6 > s4 > s2
+
+
+def test_execution_core_dominates():
+    """Fig. 2(b): the execution core is the largest back-end segment."""
+    for m in (M8, M6, M4, M2):
+        scores = structural_scores(m)
+        assert scores["EX"] == max(scores.values())
+
+
+def test_width_quadratic_in_ex():
+    ex8 = structural_scores(M8)["EX"]
+    ex2 = structural_scores(M2)["EX"]
+    # 8-wide vs 2-wide: far more than the 4x a linear model would give.
+    assert ex8 / ex2 > 6

@@ -1,0 +1,64 @@
+"""Unit tests: branch target buffer."""
+
+import pytest
+
+from repro.branch.btb import BranchTargetBuffer
+
+
+def test_miss_then_hit():
+    btb = BranchTargetBuffer()
+    assert btb.lookup(0, 0x4000) is None
+    btb.update(0, 0x4000, 0x5000)
+    assert btb.lookup(0, 0x4000) == 0x5000
+
+
+def test_update_replaces_target():
+    btb = BranchTargetBuffer()
+    btb.update(0, 0x4000, 0x5000)
+    btb.update(0, 0x4000, 0x6000)
+    assert btb.lookup(0, 0x4000) == 0x6000
+
+
+def test_threads_do_not_alias():
+    btb = BranchTargetBuffer()
+    btb.update(0, 0x4000, 0x5000)
+    assert btb.lookup(1, 0x4000) is None
+
+
+def test_lru_eviction_within_set():
+    btb = BranchTargetBuffer(entries=256, ways=4)
+    sets = btb.sets
+    # Five PCs mapping to the same set: the LRU one is evicted.
+    pcs = [0x4000 + i * 4 * sets for i in range(5)]
+    for pc in pcs[:4]:
+        btb.update(0, pc, pc + 0x100)
+    btb.lookup(0, pcs[0])  # refresh pcs[0] to MRU
+    btb.update(0, pcs[4], pcs[4] + 0x100)  # evicts pcs[1] (now LRU)
+    assert btb.lookup(0, pcs[0]) is not None
+    assert btb.lookup(0, pcs[1]) is None
+
+
+def test_hit_rate_counter():
+    btb = BranchTargetBuffer()
+    btb.update(0, 0x10, 0x20)
+    btb.lookup(0, 0x10)
+    btb.lookup(0, 0x999000)
+    assert btb.lookups == 2 and btb.hits == 1
+    assert btb.hit_rate == 0.5
+    btb.reset_stats()
+    assert btb.lookups == 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        BranchTargetBuffer(entries=255, ways=4)
+    with pytest.raises(ValueError):
+        BranchTargetBuffer(entries=96, ways=4)  # 24 sets: not a power of 2
+
+
+def test_capacity_respected():
+    btb = BranchTargetBuffer(entries=16, ways=4)
+    for i in range(100):
+        btb.update(0, i * 4, i)
+    resident = sum(len(t) for t in btb._tags)
+    assert resident <= 16

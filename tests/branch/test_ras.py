@@ -1,0 +1,57 @@
+"""Unit tests: return-address stack."""
+
+from repro.branch.ras import ReturnAddressStack
+
+
+def test_push_pop_lifo():
+    ras = ReturnAddressStack(8)
+    ras.push(0x100)
+    ras.push(0x200)
+    assert ras.pop() == 0x200
+    assert ras.pop() == 0x100
+
+
+def test_underflow_returns_none():
+    ras = ReturnAddressStack(8)
+    assert ras.pop() is None
+    assert ras.underflows == 1
+
+
+def test_overflow_overwrites_oldest():
+    ras = ReturnAddressStack(4)
+    for v in (1, 2, 3, 4, 5):  # 1 is overwritten
+        ras.push(v)
+    assert [ras.pop() for _ in range(4)] == [5, 4, 3, 2]
+    assert ras.pop() is None
+
+
+def test_peek_does_not_pop():
+    ras = ReturnAddressStack(4)
+    ras.push(7)
+    assert ras.peek() == 7
+    assert len(ras) == 1
+    assert ras.pop() == 7
+    assert ras.peek() is None
+
+
+def test_clear():
+    ras = ReturnAddressStack(4)
+    ras.push(1)
+    ras.clear()
+    assert len(ras) == 0
+    assert ras.pop() is None
+
+
+def test_counters():
+    ras = ReturnAddressStack(4)
+    ras.push(1)
+    ras.pop()
+    ras.pop()
+    assert ras.pushes == 1 and ras.pops == 2 and ras.underflows == 1
+
+
+def test_validation():
+    import pytest
+
+    with pytest.raises(ValueError):
+        ReturnAddressStack(0)

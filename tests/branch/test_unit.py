@@ -1,0 +1,69 @@
+"""Unit tests: combined branch unit (predictor + BTB + RAS)."""
+
+from repro.branch.unit import BranchUnit
+from repro.isa.opcodes import OP_BRANCH, OP_CALL, OP_RETURN
+
+
+def test_call_return_pair_predicts_return_target():
+    unit = BranchUnit(max_threads=2)
+    call_pc = 0x4000
+    ret_pc = 0x8000
+    # A call pushes call_pc+4; the matching return should be predicted.
+    unit.predict(0, call_pc, OP_CALL, True, 0x8000)
+    pred = unit.predict(0, ret_pc, OP_RETURN, True, call_pc + 4)
+    assert pred.taken
+    assert pred.target_known
+    assert not pred.target_mispredict
+
+
+def test_return_with_corrupted_ras_is_mispredict():
+    unit = BranchUnit(max_threads=1)
+    pred = unit.predict(0, 0x8000, OP_RETURN, True, 0x1234)
+    assert pred.target_mispredict  # empty RAS: no target
+
+
+def test_branch_direction_mispredict_flag():
+    unit = BranchUnit(max_threads=1)
+    # Train towards taken.
+    for _ in range(64):
+        unit.resolve(0, 0x4000, OP_BRANCH, True, 0x5000)
+    pred = unit.predict(0, 0x4000, OP_BRANCH, False, 0x4004)
+    assert pred.taken is True
+    assert pred.direction_mispredict
+
+
+def test_taken_branch_btb_miss_flagged():
+    unit = BranchUnit(max_threads=1)
+    for _ in range(64):
+        unit.predictor.update(0, 0x4000, True)
+    pred = unit.predict(0, 0x4000, OP_BRANCH, True, 0x9000)
+    assert pred.taken and not pred.direction_mispredict
+    assert not pred.target_known
+    assert pred.target_mispredict
+
+
+def test_resolve_trains_btb():
+    unit = BranchUnit(max_threads=1)
+    unit.resolve(0, 0x4000, OP_BRANCH, True, 0x9000)
+    assert unit.btb.lookup(0, 0x4000) == 0x9000
+
+
+def test_not_taken_resolution_does_not_fill_btb():
+    unit = BranchUnit(max_threads=1)
+    unit.resolve(0, 0x4000, OP_BRANCH, False, 0x4004)
+    assert unit.btb.lookup(0, 0x4000) is None
+
+
+def test_clear_thread_resets_ras():
+    unit = BranchUnit(max_threads=1)
+    unit.predict(0, 0x4000, OP_CALL, True, 0x8000)
+    unit.clear_thread(0)
+    assert len(unit.rases[0]) == 0
+
+
+def test_reset_stats():
+    unit = BranchUnit(max_threads=1)
+    unit.resolve(0, 0x4000, OP_BRANCH, True, 0x5000)
+    unit.reset_stats()
+    assert unit.stats_resolved == 0
+    assert unit.predictor.lookups == 0

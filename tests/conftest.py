@@ -1,0 +1,21 @@
+"""Shared fixtures for the test suite.
+
+Tests run at small, fixed scales for speed and determinism; the full
+paper-scale sweeps live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.experiments.scale import ExperimentScale
+
+
+@pytest.fixture
+def tiny_scale() -> ExperimentScale:
+    """Smallest useful experiment scale (fast unit/integration tests)."""
+    return ExperimentScale(commit_target=800, screen_target=300, max_mappings=8)
+
+
+@pytest.fixture
+def small_scale() -> ExperimentScale:
+    """Slightly larger scale for shape-sensitive integration tests."""
+    return ExperimentScale(commit_target=2500, screen_target=700, max_mappings=12)

@@ -1,0 +1,75 @@
+"""Unit tests: the run_simulation / run_workload entry points."""
+
+import pytest
+
+from repro.core.config import get_config
+from repro.core.simulation import default_trace_length, run_simulation, run_workload
+
+
+def test_run_simulation_basic():
+    r = run_simulation("M8", ["eon"], (0,), commit_target=1500)
+    assert r.config_name == "M8"
+    assert r.benchmarks == ("eon",)
+    assert r.committed[0] >= 1500
+    assert r.ipc > 0.5
+    assert r.cycles > 0
+    assert len(r.thread_ipc) == 1
+    assert r.thread_ipc[0] == pytest.approx(r.committed[0] / r.cycles)
+
+
+def test_run_simulation_accepts_config_object():
+    cfg = get_config("2M4+2M2")
+    r = run_simulation(cfg, ["eon", "gzip"], (0, 1), commit_target=800)
+    assert r.config_name == "2M4+2M2"
+    assert r.num_threads == 2
+
+
+def test_stop_rule_first_finisher():
+    r = run_simulation("M8", ["eon", "mcf"], (0, 0), commit_target=1200)
+    # eon finishes first; mcf must be far behind.
+    assert max(r.committed) >= 1200
+    assert min(r.committed) < 1200
+
+
+def test_aggregate_ipc_is_sum_over_cycles():
+    r = run_simulation("M8", ["eon", "gzip"], (0, 0), commit_target=1000)
+    assert r.ipc == pytest.approx(sum(r.committed) / r.cycles)
+
+
+def test_repeated_benchmark_gets_distinct_instances():
+    r = run_simulation("M8", ["gzip", "gzip"], (0, 0), commit_target=800)
+    # Distinct trace instances: the two threads should not be in lockstep.
+    assert r.committed[0] != r.committed[1] or r.thread_ipc[0] != r.thread_ipc[1]
+
+
+def test_warmup_improves_short_run_ipc():
+    warm = run_simulation("M8", ["gzip"], (0,), commit_target=1000, warmup=True)
+    cold = run_simulation("M8", ["gzip"], (0,), commit_target=1000, warmup=False)
+    assert warm.ipc > cold.ipc
+
+
+def test_stats_exposed():
+    r = run_simulation("M8", ["twolf"], (0,), commit_target=800)
+    for key in ("l1d_miss_rate", "branch_mispredict_rate", "flushes", "fetched"):
+        assert key in r.stats
+    assert r.stats["fetched"] >= r.committed[0]
+
+
+def test_run_workload_monolithic_and_heuristic():
+    r = run_workload("M8", ["eon", "gzip"], commit_target=600)
+    assert r.mapping == (0, 0)
+    r2 = run_workload("2M4+2M2", ["eon", "mcf"], commit_target=600)
+    # eon (fewest misses) on an M4 (0/1), mcf elsewhere.
+    assert r2.mapping[0] in (0, 1)
+    assert r2.mapping != (0, 0)
+
+
+def test_default_trace_length():
+    assert default_trace_length(10_000) == 10_000
+    assert default_trace_length(100) == 4096
+
+
+def test_describe_smoke():
+    r = run_simulation("M8", ["eon"], (0,), commit_target=500)
+    s = r.describe()
+    assert "M8" in s and "IPC" in s

@@ -1,0 +1,64 @@
+"""Integration tests: ablation studies (tiny scale)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ablation_fetch_buffer,
+    ablation_fetch_policy,
+    ablation_mapping_policy,
+    ablation_register_latency,
+    ablation_report,
+)
+from repro.experiments.scale import ExperimentScale
+
+SCALE = ExperimentScale(commit_target=800, screen_target=300, max_mappings=6)
+
+
+def test_fetch_policy_ablation_runs_all():
+    res = ablation_fetch_policy(scale=SCALE, policies=("l1mcount", "roundrobin"))
+    assert set(res) == {"l1mcount", "roundrobin"}
+    for r in res.values():
+        assert r.ipc > 0
+
+
+def test_register_latency_single_thread_monotone():
+    """Single-threaded, more RF latency can never help (multithreaded
+    aggregate IPC may wiggle: slowing one thread's chains reshuffles
+    fetch interleaving and the first-finisher stop point)."""
+    from dataclasses import replace
+
+    from repro.core.config import get_config
+    from repro.core.simulation import run_simulation
+
+    base = get_config("2M4+2M2")
+    ipcs = {}
+    for lat in (1, 3):
+        cfg = replace(
+            base, name=f"rf{lat}", params=replace(base.params, reg_latency=lat)
+        )
+        ipcs[lat] = run_simulation(cfg, ["gzip"], (0,), commit_target=1200).ipc
+    assert ipcs[1] > ipcs[3]
+
+
+def test_register_latency_ablation_runs():
+    res = ablation_register_latency(scale=SCALE, latencies=(1, 2))
+    assert set(res) == {1, 2}
+    for r in res.values():
+        assert r.ipc > 0
+
+
+def test_fetch_buffer_tiny_hurts():
+    res = ablation_fetch_buffer(scale=SCALE, sizes=(2, 32))
+    assert res[32].ipc >= res[2].ipc * 0.95  # bigger buffer >= tiny one
+
+
+def test_mapping_policy_oracle_brackets():
+    res = ablation_mapping_policy(scale=SCALE)
+    assert res["oracle-best"].ipc >= res["oracle-worst"].ipc
+    assert res["oracle-best"].ipc >= res["heuristic"].ipc * 0.95
+
+
+def test_ablation_report_renders():
+    res = ablation_register_latency(scale=SCALE, latencies=(1,))
+    text = ablation_report(res, "reg_latency")
+    assert "reg_latency" in text and "IPC" in text

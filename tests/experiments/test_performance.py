@@ -1,0 +1,90 @@
+"""Integration tests: the Fig. 4/5 experiment driver (tiny scale)."""
+
+import pytest
+
+from repro.experiments.performance import (
+    WorkloadResult,
+    class_size_means,
+    clear_result_cache,
+    evaluate_config_workload,
+    fig4_table,
+    fig5_table,
+    run_performance_experiment,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_result_cache()
+    yield
+
+
+def test_monolithic_single_measurement(tiny_scale):
+    wr = evaluate_config_workload("M8", "2W1", tiny_scale)
+    assert wr.best is wr.heur is wr.worst
+    assert wr.degenerate
+
+
+def test_homogeneous_two_threads_coincide(tiny_scale):
+    """§5: on homogeneous configs the three 2-thread measurements match."""
+    wr = evaluate_config_workload("3M4", "2W1", tiny_scale)
+    assert wr.degenerate
+    assert wr.best.ipc == wr.heur.ipc == wr.worst.ipc
+
+
+def test_hetero_best_heur_worst_ordering(tiny_scale):
+    wr = evaluate_config_workload("2M4+2M2", "2W7", tiny_scale)
+    assert wr.best.ipc >= wr.heur.ipc >= wr.worst.ipc
+    assert wr.mappings_screened >= 2
+
+
+def test_results_cached(tiny_scale):
+    a = evaluate_config_workload("2M4+2M2", "2W1", tiny_scale)
+    b = evaluate_config_workload("2M4+2M2", "2W1", tiny_scale)
+    assert a is b
+
+
+def test_ppa_uses_config_area(tiny_scale):
+    wr = evaluate_config_workload("2M4+2M2", "2W1", tiny_scale)
+    assert wr.ppa("heur") == pytest.approx(wr.heur.ipc / wr.area)
+
+
+def test_workload_too_big_is_skipped(tiny_scale):
+    # 1M4+1M2 offers only 3 contexts: 4-thread workloads must be skipped.
+    res = run_performance_experiment(
+        config_names=["1M4+1M2"], workload_names=["2W1", "4W1"], scale=tiny_scale
+    )
+    assert "2W1" in res["1M4+1M2"]
+    assert "4W1" not in res["1M4+1M2"]
+    # 6W1 fits 2M4+2M2 exactly (6 contexts) and must not be skipped.
+    res2 = run_performance_experiment(
+        config_names=["3M4"], workload_names=["6W1"], scale=tiny_scale
+    )
+    assert "6W1" in res2["3M4"]
+
+
+def test_class_size_means_structure(tiny_scale):
+    res = run_performance_experiment(
+        config_names=["M8", "2M4+2M2"],
+        workload_names=["2W1", "2W2"],
+        scale=tiny_scale,
+    )
+    means = class_size_means(res, "ILP", metric="ipc")
+    assert "2 THREADS" in means and "HMEAN" in means
+    assert "M8" in means["2 THREADS"]
+    assert set(means["2 THREADS"]["M8"]) == {"BEST", "HEUR", "WORST"}
+    # Two ILP workloads, hmean over both:
+    m8_vals = [res["M8"][w].ipc("heur") for w in ("2W1", "2W2")]
+    from repro.metrics.stats import harmonic_mean
+
+    assert means["HMEAN"]["M8"]["HEUR"] == pytest.approx(harmonic_mean(m8_vals))
+
+
+def test_fig_tables_render(tiny_scale):
+    res = run_performance_experiment(
+        config_names=["M8", "3M4"], workload_names=["2W4"], scale=tiny_scale
+    )
+    t4 = fig4_table(res, "MEM")
+    t5 = fig5_table(res, "MEM")
+    assert "Fig. 4" in t4 and "MEM" in t4
+    assert "Fig. 5" in t5 and "IPC/mm2" in t5

@@ -1,0 +1,44 @@
+"""Integration tests: §5 headline summary machinery (tiny scale)."""
+
+import pytest
+
+from repro.experiments.performance import clear_result_cache, run_performance_experiment
+from repro.experiments.summary import headline_summary, summary_report
+
+
+@pytest.fixture(scope="module")
+def small_results():
+    clear_result_cache()
+    from repro.experiments.scale import ExperimentScale
+
+    scale = ExperimentScale(commit_target=900, screen_target=300, max_mappings=6)
+    return run_performance_experiment(
+        workload_names=["2W1", "2W4", "2W7"], scale=scale
+    )
+
+
+def test_summary_fields(small_results):
+    s = headline_summary(small_results)
+    assert set(s.ipc_by_config) == set(small_results)
+    assert s.best_ppa_hdsmt in ("2M4+2M2", "3M4+2M2", "1M6+2M4+2M2")
+    assert s.ppa_gain_vs_monolithic != 0.0
+    for cfg, acc in s.heuristic_accuracy.items():
+        assert 0.0 < acc <= 1.0
+
+
+def test_best_hdsmt_ppa_beats_m8(small_results):
+    """The paper's central claim must hold in sign at any scale."""
+    s = headline_summary(small_results)
+    assert s.ppa_gain_vs_monolithic > 0
+
+
+def test_report_renders(small_results):
+    s = headline_summary(small_results)
+    text = summary_report(s)
+    assert "PPA gain" in text and "paper" in text
+    assert "+13%" in text
+
+
+def test_empty_results_raise():
+    with pytest.raises(ValueError):
+        headline_summary({"M8": {}})

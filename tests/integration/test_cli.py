@@ -1,0 +1,65 @@
+"""Tests: the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_run_with_workload(capsys):
+    rc = main(["run", "--config", "M8", "--workload", "2W1", "--target", "800"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "IPC" in out and "mm2" in out
+
+
+def test_run_with_benchmarks(capsys):
+    rc = main(["run", "--config", "2M4+2M2", "eon", "mcf", "--target", "600"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "2M4+2M2" in out
+
+
+def test_run_without_workload_errors(capsys):
+    rc = main(["run", "--config", "M8"])
+    assert rc == 2
+
+
+def test_areas(capsys):
+    rc = main(["areas"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "-17.00%" in out and "M8" in out
+
+
+def test_areas_custom(capsys):
+    rc = main(["areas", "2M4+2M2"])
+    assert rc == 0
+    assert "2M4+2M2" in capsys.readouterr().out
+
+
+def test_profile(capsys):
+    rc = main(["profile", "eon", "mcf"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "mcf" in out and "MPKI" in out
+
+
+def test_workloads(capsys):
+    rc = main(["workloads"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "2W4" in out and "6W4" in out
+
+
+def test_figures_tiny(capsys):
+    rc = main(
+        ["figures", "--scale", "0.08", "--workloads", "2W1", "2W4", "--quiet"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Fig. 4" in out and "Fig. 5" in out and "headline" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["bogus"])

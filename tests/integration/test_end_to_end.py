@@ -1,0 +1,84 @@
+"""End-to-end behavioural tests of the full simulator stack."""
+
+import pytest
+
+from repro.core.config import get_config
+from repro.core.simulation import run_simulation, run_workload
+
+
+def test_single_thread_ipc_ordered_by_pipeline_width():
+    """An ILP thread's IPC must degrade monotonically with pipeline width
+    (M8 monolithic > single M6 > single M4 > single M2 hdSMT)."""
+    ipcs = {}
+    for cfg in ("M8", "1M6", "1M4", "1M2"):
+        ipcs[cfg] = run_simulation(cfg, ["eon"], (0,), commit_target=2000).ipc
+    assert ipcs["M8"] > ipcs["1M6"] > ipcs["1M4"] > ipcs["1M2"]
+
+
+def test_smt_throughput_exceeds_single_thread():
+    solo = run_simulation("M8", ["gzip"], (0,), commit_target=2000)
+    pair = run_simulation("M8", ["gzip", "eon"], (0, 0), commit_target=2000)
+    assert pair.ipc > solo.ipc
+
+
+def test_memory_bound_thread_runs_slower():
+    r = run_simulation("M8", ["eon", "mcf"], (0, 0), commit_target=2000)
+    eon_ipc = r.thread_ipc[0]
+    mcf_ipc = r.thread_ipc[1]
+    assert eon_ipc > 3 * mcf_ipc
+
+
+def test_isolation_protects_ilp_thread():
+    """hdSMT's point: a memory hog sharing the ILP thread's pipeline hurts
+    it more than the same hog isolated on another pipeline."""
+    cfg = get_config("2M4+2M2")
+    together = run_simulation(cfg, ["bzip2", "twolf"], (0, 0), commit_target=1500)
+    isolated = run_simulation(cfg, ["bzip2", "twolf"], (0, 2), commit_target=1500)
+    assert isolated.thread_ipc[0] > together.thread_ipc[0]
+
+
+def test_flush_helps_baseline_on_mem_workload():
+    """FLUSH vs plain ICOUNT on the monolithic baseline with an L2-missing
+    thread: the non-offending thread must go faster with FLUSH."""
+    from dataclasses import replace
+
+    m8 = get_config("M8")
+    m8_icount = replace(m8, name="M8i", fetch_policy="icount")
+    flush = run_simulation(m8, ["gzip", "mcf"], (0, 0), commit_target=2000)
+    plain = run_simulation(m8_icount, ["gzip", "mcf"], (0, 0), commit_target=2000)
+    assert flush.thread_ipc[0] > plain.thread_ipc[0]
+    assert flush.stats["flushes"] > 0
+
+
+def test_heuristic_mapping_isolates_mcf():
+    """On 2M4+2M2 the heuristic must not put mcf on a wide pipeline with
+    a well-behaved thread."""
+    r = run_workload("2M4+2M2", ["eon", "mcf"], commit_target=1000)
+    cfg = get_config("2M4+2M2")
+    eon_pipe, mcf_pipe = r.mapping
+    assert cfg.pipelines[eon_pipe].width >= cfg.pipelines[mcf_pipe].width
+    assert eon_pipe != mcf_pipe
+
+
+def test_six_threads_run_on_m8_and_big_hdsmt():
+    r1 = run_simulation("M8", ["gzip", "gcc", "crafty", "eon", "gap", "bzip2"],
+                        (0,) * 6, commit_target=1200)
+    assert sum(r1.committed) >= 1200
+    r2 = run_workload("1M6+2M4+2M2", ["gzip", "gcc", "crafty", "eon", "gap", "bzip2"],
+                      commit_target=1200)
+    assert sum(r2.committed) >= 1200
+
+
+def test_wider_aggregate_width_wins_at_high_thread_count():
+    """§5: hdSMT outperforms M8 on the six-threaded ILP workloads (8-wide
+    monolithic saturates; the clustered design has 16 issue slots)."""
+    benches = ["gzip", "gcc", "crafty", "eon", "gap", "bzip2"]
+    m8 = run_simulation("M8", benches, (0,) * 6, commit_target=2500)
+    hd = run_workload("1M6+2M4+2M2", benches, commit_target=2500)
+    assert hd.ipc > m8.ipc * 0.95  # at minimum parity; typically a win
+
+
+def test_deterministic_end_to_end():
+    a = run_simulation("3M4+2M2", ["eon", "vpr"], (0, 3), commit_target=900)
+    b = run_simulation("3M4+2M2", ["eon", "vpr"], (0, 3), commit_target=900)
+    assert a.cycles == b.cycles and a.committed == b.committed

@@ -1,0 +1,46 @@
+"""Unit tests: Instruction dataclass <-> packed tuple round trips."""
+
+from repro.isa import (
+    Instruction,
+    OP_BRANCH,
+    OP_INT,
+    OP_LOAD,
+    REG_NONE,
+    pack_entry,
+    unpack_entry,
+)
+
+
+def test_pack_unpack_round_trip():
+    i = Instruction(OP_LOAD, dest=4, src1=9, addr=0x1000_0040, pc=0x40_0010)
+    assert unpack_entry(pack_entry(i)) == i
+
+
+def test_pack_layout():
+    i = Instruction(OP_BRANCH, src1=3, taken=True, pc=0x40_0000)
+    e = i.pack()
+    assert e == (OP_BRANCH, REG_NONE, 3, REG_NONE, 0, 1, 0x40_0000)
+
+
+def test_branch_and_memory_flags():
+    assert Instruction(OP_BRANCH).is_branch
+    assert not Instruction(OP_BRANCH).is_memory
+    assert Instruction(OP_LOAD).is_memory
+    assert not Instruction(OP_INT).is_branch
+
+
+def test_str_smoke():
+    s = str(Instruction(OP_LOAD, dest=2, src1=7, addr=0x80, pc=4))
+    assert "load" in s and "@0x80" in s
+    s2 = str(Instruction(OP_BRANCH, src1=1, taken=False, pc=8))
+    assert "not-taken" in s2
+
+
+def test_frozen():
+    import dataclasses
+
+    import pytest
+
+    i = Instruction(OP_INT)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        i.dest = 3  # type: ignore[misc]

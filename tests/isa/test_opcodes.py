@@ -1,0 +1,62 @@
+"""Unit tests: instruction classes, latencies and FU routing."""
+
+from repro.isa import opcodes as op
+
+
+def test_class_constants_are_distinct():
+    classes = [
+        op.OP_INT,
+        op.OP_MUL,
+        op.OP_FP,
+        op.OP_LOAD,
+        op.OP_STORE,
+        op.OP_BRANCH,
+        op.OP_CALL,
+        op.OP_RETURN,
+        op.OP_NOP,
+    ]
+    assert len(set(classes)) == len(classes)
+    assert sorted(classes) == list(range(op.NUM_OP_CLASSES))
+
+
+def test_class_names_align_with_constants():
+    assert op.OP_CLASS_NAMES[op.OP_LOAD] == "load"
+    assert op.OP_CLASS_NAMES[op.OP_RETURN] == "return"
+    assert len(op.OP_CLASS_NAMES) == op.NUM_OP_CLASSES
+
+
+def test_latency_table_covers_every_class():
+    assert len(op.EXEC_LATENCY) == op.NUM_OP_CLASSES
+    assert all(l >= 1 for l in op.EXEC_LATENCY)
+
+
+def test_multiply_slower_than_alu():
+    assert op.EXEC_LATENCY[op.OP_MUL] > op.EXEC_LATENCY[op.OP_INT]
+
+
+def test_fp_routed_to_fp_unit():
+    assert op.fu_class(op.OP_FP) == op.FU_FP
+
+
+def test_memory_ops_routed_to_ldst_unit():
+    assert op.fu_class(op.OP_LOAD) == op.FU_LDST
+    assert op.fu_class(op.OP_STORE) == op.FU_LDST
+
+
+def test_control_ops_routed_to_int_unit():
+    for c in (op.OP_BRANCH, op.OP_CALL, op.OP_RETURN):
+        assert op.fu_class(c) == op.FU_INT
+
+
+def test_is_branch_class():
+    assert op.is_branch_class(op.OP_BRANCH)
+    assert op.is_branch_class(op.OP_CALL)
+    assert op.is_branch_class(op.OP_RETURN)
+    assert not op.is_branch_class(op.OP_LOAD)
+    assert not op.is_branch_class(op.OP_INT)
+
+
+def test_is_memory_class():
+    assert op.is_memory_class(op.OP_LOAD)
+    assert op.is_memory_class(op.OP_STORE)
+    assert not op.is_memory_class(op.OP_BRANCH)

@@ -1,0 +1,41 @@
+"""Unit tests: flattened register namespace."""
+
+import pytest
+
+from repro.isa import registers as regs
+
+
+def test_namespace_size():
+    assert regs.NUM_LOGICAL_REGS == regs.NUM_INT_REGS + regs.NUM_FP_REGS == 64
+
+
+def test_int_and_fp_ranges_disjoint():
+    ints = {regs.int_reg(i) for i in range(regs.NUM_INT_REGS)}
+    fps = {regs.fp_reg(i) for i in range(regs.NUM_FP_REGS)}
+    assert not ints & fps
+    assert ints | fps == set(range(regs.NUM_LOGICAL_REGS))
+
+
+def test_is_fp_reg():
+    assert not regs.is_fp_reg(regs.int_reg(5))
+    assert regs.is_fp_reg(regs.fp_reg(5))
+
+
+def test_reg_name_round_trip():
+    assert regs.reg_name(regs.int_reg(7)) == "r7"
+    assert regs.reg_name(regs.fp_reg(3)) == "f3"
+    assert regs.reg_name(regs.REG_NONE) == "-"
+
+
+def test_out_of_range_raises():
+    with pytest.raises(ValueError):
+        regs.int_reg(32)
+    with pytest.raises(ValueError):
+        regs.fp_reg(-1)
+    with pytest.raises(ValueError):
+        regs.reg_name(64)
+
+
+def test_reg_none_is_negative():
+    # Hot paths test operands with `>= 0`; the sentinel must stay negative.
+    assert regs.REG_NONE < 0

@@ -1,0 +1,99 @@
+"""Unit tests: two-level hierarchy latency model (Table 1 conventions)."""
+
+import pytest
+
+from repro.memory.hierarchy import MemoryHierarchy, MemoryParams
+
+
+@pytest.fixture
+def mem():
+    return MemoryHierarchy(MemoryParams(), max_threads=2)
+
+
+def test_l1_hit_latency(mem):
+    p = mem.params
+    mem.load(0x1000, 0)  # fill (may miss TLB/L1)
+    r = mem.load(0x1000, 0)
+    assert r.l1_hit and r.tlb_hit
+    assert r.latency == p.l1_latency == 3
+
+
+def test_l2_hit_latency(mem):
+    p = mem.params
+    mem.load(0x1000, 0)  # L1+L2+TLB warm
+    # Evict from L1 (2-way): two other lines in the same set.
+    stride = mem.l1d.num_sets * 64
+    mem.load(0x1000 + stride, 0)
+    mem.load(0x1000 + 2 * stride, 0)
+    r = mem.load(0x1000, 0)
+    assert not r.l1_hit and r.l2_hit
+    assert r.latency == p.l1_latency + p.l1_miss_penalty == 25
+
+
+def test_memory_latency_cold(mem):
+    p = mem.params
+    mem.dtlb.access(0x50_0000, 0)  # pre-touch the page: isolate cache path
+    r = mem.load(0x50_0000, 0)
+    assert not r.l1_hit and not r.l2_hit
+    assert r.latency == p.l1_latency + p.l1_miss_penalty + p.memory_latency == 275
+
+
+def test_tlb_miss_penalty(mem):
+    p = mem.params
+    r = mem.load(0x900_0000, 0)
+    assert not r.tlb_hit
+    assert r.latency >= p.tlb_miss_penalty
+
+
+def test_store_fills_caches_without_stall(mem):
+    r = mem.store(0x1000, 0)
+    assert r.latency in (0, mem.params.tlb_miss_penalty)
+    assert mem.l1d.probe(0x1000)
+
+
+def test_fetch_hit_is_free(mem):
+    mem.fetch(0x40_0000, 0)
+    r = mem.fetch(0x40_0000, 0)
+    assert r.latency == 0
+
+
+def test_fetch_miss_penalties(mem):
+    p = mem.params
+    mem.itlb.access(0x40_0000, 0)
+    r = mem.fetch(0x40_0000, 0)
+    assert r.latency == p.l1_miss_penalty + p.memory_latency
+
+
+def test_flush_threshold_matches_paper(mem):
+    # FLUSH declares an L2 miss when a load outlives L1+L2 access time.
+    assert mem.params.flush_threshold == 3 + 12
+
+
+def test_shared_l2_between_i_and_d(mem):
+    # An instruction fetch warms L2 for a subsequent data miss to the
+    # same line (unified L2).
+    mem.fetch(0x777_0000, 0)
+    mem.dtlb.access(0x777_0000, 0)
+    r = mem.load(0x777_0000, 0)
+    assert r.l2_hit
+
+
+def test_threads_share_capacity(mem):
+    mem.load(0x1000, 0)
+    r = mem.load(0x1000, 1)  # same address, different address space
+    assert not r.l1_hit  # thread-tagged: no false sharing
+
+
+def test_reset(mem):
+    mem.load(0x1000, 0)
+    mem.reset()
+    assert mem.l1d.occupancy() == 0
+    assert mem.l1d.stats.accesses == 1  # reset() keeps stats...
+    mem.reset_stats()
+    assert mem.l1d.stats.accesses == 0
+
+
+def test_dcache_misses_per_thread(mem):
+    mem.load(0x1000, 1)
+    assert mem.dcache_misses(1) == 1
+    assert mem.dcache_misses(0) == 0

@@ -1,0 +1,60 @@
+"""Unit tests: TLB."""
+
+import pytest
+
+from repro.memory.tlb import TranslationBuffer
+
+
+def test_miss_then_hit_same_page():
+    tlb = TranslationBuffer(entries=4, page_bytes=8192)
+    assert tlb.access(0x0000) is False
+    assert tlb.access(0x1FFF) is True  # same 8K page
+    assert tlb.access(0x2000) is False  # next page
+
+
+def test_lru_eviction():
+    tlb = TranslationBuffer(entries=2, page_bytes=8192)
+    tlb.access(0x0000)  # page 0
+    tlb.access(0x2000)  # page 1
+    tlb.access(0x0000)  # refresh page 0
+    tlb.access(0x4000)  # page 2 evicts page 1
+    assert tlb.access(0x0000) is True
+    assert tlb.access(0x2000) is False
+
+
+def test_capacity():
+    tlb = TranslationBuffer(entries=48)
+    for i in range(100):
+        tlb.access(i * 8192)
+    assert len(tlb) == 48
+
+
+def test_thread_tagging():
+    tlb = TranslationBuffer(entries=8)
+    tlb.access(0x0000, thread=0)
+    assert tlb.access(0x0000, thread=1) is False
+
+
+def test_invalidate_thread():
+    tlb = TranslationBuffer(entries=8)
+    tlb.access(0x0000, thread=0)
+    tlb.access(0x0000, thread=1)
+    tlb.invalidate_thread(0)
+    assert tlb.access(0x0000, thread=0) is False
+    assert tlb.access(0x0000, thread=1) is True
+
+
+def test_miss_rate_and_reset():
+    tlb = TranslationBuffer(entries=8)
+    tlb.access(0x0)
+    tlb.access(0x0)
+    assert tlb.miss_rate == pytest.approx(0.5)
+    tlb.reset_stats()
+    assert tlb.accesses == 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TranslationBuffer(entries=0)
+    with pytest.raises(ValueError):
+        TranslationBuffer(entries=8, page_bytes=1000)

@@ -1,0 +1,48 @@
+"""Unit tests: ASCII charts."""
+
+import pytest
+
+from repro.metrics.charts import format_bar_chart, render_figure
+
+
+def test_bar_lengths_proportional():
+    s = format_bar_chart({"a": 1.0, "b": 0.5}, width=40)
+    lines = s.splitlines()
+    assert lines[0].count("#") == 40
+    assert lines[1].count("#") == 20
+
+
+def test_title_and_values_present():
+    s = format_bar_chart({"x": 2.0}, title="T", value_fmt="{:.1f}")
+    assert s.splitlines()[0] == "T"
+    assert "2.0" in s
+
+
+def test_empty_and_nonpositive_rejected():
+    with pytest.raises(ValueError):
+        format_bar_chart({})
+    with pytest.raises(ValueError):
+        format_bar_chart({"a": 0.0})
+
+
+def test_render_figure_groups():
+    data = {
+        "2 THREADS": {"M8": {"HEUR": 2.0}, "3M4": {"HEUR": 1.0}},
+        "HMEAN": {"M8": {"HEUR": 1.5}},
+    }
+    s = render_figure(["2 THREADS", "HMEAN"], ["M8", "3M4"], data, width=30)
+    assert "-- 2 THREADS --" in s and "-- HMEAN --" in s
+    lines = [l for l in s.splitlines() if "|" in l]
+    assert lines[0].count("#") == 30  # the max value spans the full width
+    assert lines[1].count("#") == 15
+
+
+def test_render_figure_missing_series_raises():
+    with pytest.raises(ValueError):
+        render_figure(["G"], ["A"], {"G": {"A": {"BEST": 1.0}}}, which="HEUR")
+
+
+def test_render_skips_empty_groups():
+    data = {"G1": {"A": {"HEUR": 1.0}}, "G2": {}}
+    s = render_figure(["G1", "G2"], ["A"], data)
+    assert "G2" not in s

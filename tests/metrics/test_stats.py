@@ -1,0 +1,69 @@
+"""Unit tests: metrics."""
+
+import pytest
+
+from repro.metrics.stats import (
+    arithmetic_mean,
+    geometric_mean,
+    harmonic_mean,
+    heuristic_accuracy,
+    performance_per_area,
+    relative_improvement,
+)
+
+
+def test_harmonic_mean_known_value():
+    assert harmonic_mean([1, 2, 4]) == pytest.approx(3 / (1 + 0.5 + 0.25))
+
+
+def test_harmonic_of_equal_values():
+    assert harmonic_mean([3.3, 3.3]) == pytest.approx(3.3)
+
+
+def test_mean_ordering():
+    vals = [0.5, 1.5, 4.0]
+    h = harmonic_mean(vals)
+    g = geometric_mean(vals)
+    a = arithmetic_mean(vals)
+    assert h < g < a
+
+
+def test_harmonic_dominated_by_slowest():
+    # The paper uses hmean precisely because one slow workload drags it.
+    assert harmonic_mean([0.1, 10.0]) < 0.2
+
+
+def test_errors():
+    with pytest.raises(ValueError):
+        harmonic_mean([])
+    with pytest.raises(ValueError):
+        harmonic_mean([1.0, 0.0])
+    with pytest.raises(ValueError):
+        geometric_mean([-1.0])
+    with pytest.raises(ValueError):
+        arithmetic_mean([])
+
+
+def test_performance_per_area():
+    assert performance_per_area(2.0, 100.0) == pytest.approx(0.02)
+    with pytest.raises(ValueError):
+        performance_per_area(1.0, 0.0)
+
+
+def test_relative_improvement():
+    assert relative_improvement(1.13, 1.0) == pytest.approx(0.13)
+    assert relative_improvement(0.9, 1.0) == pytest.approx(-0.1)
+    with pytest.raises(ValueError):
+        relative_improvement(1.0, 0.0)
+
+
+def test_heuristic_accuracy():
+    assert heuristic_accuracy([0.92, 1.0], [1.0, 1.0]) == pytest.approx(0.96)
+    # Capped at 1 per workload (full runs can jitter above the screen).
+    assert heuristic_accuracy([1.1], [1.0]) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        heuristic_accuracy([1.0], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        heuristic_accuracy([], [])
+    with pytest.raises(ValueError):
+        heuristic_accuracy([1.0], [0.0])

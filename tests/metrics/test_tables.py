@@ -1,0 +1,38 @@
+"""Unit tests: text tables."""
+
+from repro.metrics.tables import format_grouped_bars, format_table
+
+
+def test_format_table_alignment():
+    s = format_table(["name", "value"], [["a", 1.5], ["bb", 22.25]], title="T")
+    lines = s.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    assert "1.5000" in s and "22.2500" in s
+
+
+def test_format_table_no_title():
+    s = format_table(["a"], [["x"]])
+    assert s.splitlines()[0].startswith("a")
+
+
+def test_grouped_bars_structure():
+    data = {
+        "2 THREADS": {
+            "M8": {"BEST": 1.0, "HEUR": 1.0},
+            "3M4": {"BEST": 0.9, "HEUR": 0.8},
+        },
+        "HMEAN": {"M8": {"BEST": 1.0, "HEUR": 1.0}},
+    }
+    s = format_grouped_bars(["2 THREADS", "HMEAN"], ["M8", "3M4"], data, value_fmt="{:.2f}")
+    assert "2 THREADS" in s and "HMEAN" in s
+    assert "BEST" in s and "HEUR" in s
+    assert "0.80" in s
+
+
+def test_grouped_bars_missing_cells_skipped():
+    data = {"G": {"A": {"X": 1.0}}}
+    s = format_grouped_bars(["G"], ["A", "B"], data)
+    # bar B has no data: no row emitted for it
+    assert s.count("\n") == 2  # header + separator + one row

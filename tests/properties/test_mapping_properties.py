@@ -1,0 +1,102 @@
+"""Property-based tests: mapping policies."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import STANDARD_CONFIG_NAMES, get_config
+from repro.core.mapping import (
+    canonical_mapping,
+    enumerate_mappings,
+    heuristic_mapping,
+    mapping_contexts_ok,
+)
+
+config_names = st.sampled_from([n for n in STANDARD_CONFIG_NAMES if n != "M8"])
+miss_lists = st.lists(
+    st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=2, max_size=6
+)
+
+
+@given(config_names, miss_lists)
+@settings(max_examples=80, deadline=None)
+def test_heuristic_always_valid(cfg_name, misses):
+    cfg = get_config(cfg_name)
+    if len(misses) > cfg.total_contexts:
+        return
+    m = heuristic_mapping(cfg, misses)
+    assert len(m) == len(misses)
+    assert mapping_contexts_ok(cfg, m)
+
+
+@given(config_names, miss_lists)
+@settings(max_examples=80, deadline=None)
+def test_heuristic_best_thread_gets_widest_pipeline(cfg_name, misses):
+    cfg = get_config(cfg_name)
+    if len(misses) > cfg.total_contexts:
+        return
+    m = heuristic_mapping(cfg, misses)
+    best_thread = min(range(len(misses)), key=lambda t: (misses[t], t))
+    widest = max(p.width for p in cfg.pipelines)
+    assert cfg.pipelines[m[best_thread]].width == widest
+
+
+@given(config_names, miss_lists)
+@settings(max_examples=50, deadline=None)
+def test_heuristic_permutation_equivariant(cfg_name, misses):
+    """Reversing the thread order must produce the same canonical class
+    when all miss counts are distinct (ties break by workload order)."""
+    if len(set(misses)) != len(misses):
+        return
+    cfg = get_config(cfg_name)
+    if len(misses) > cfg.total_contexts:
+        return
+    m1 = heuristic_mapping(cfg, misses)
+    rev = list(reversed(misses))
+    m2 = heuristic_mapping(cfg, rev)
+    # Re-map m2 back into original thread order.
+    n = len(misses)
+    m2_orig = tuple(m2[n - 1 - t] for t in range(n))
+    assert canonical_mapping(cfg, m1) == canonical_mapping(cfg, m2_orig)
+
+
+@given(config_names, st.integers(min_value=2, max_value=6))
+@settings(max_examples=30, deadline=None)
+def test_enumeration_valid_and_unique(cfg_name, nthreads):
+    cfg = get_config(cfg_name)
+    if nthreads > cfg.total_contexts:
+        return
+    maps = enumerate_mappings(cfg, nthreads)
+    assert maps, "at least one mapping must exist"
+    keys = [canonical_mapping(cfg, m) for m in maps]
+    assert len(set(keys)) == len(keys), "no duplicate classes"
+    for m in maps:
+        assert mapping_contexts_ok(cfg, m)
+
+
+@given(config_names, st.integers(min_value=2, max_value=6))
+@settings(max_examples=30, deadline=None)
+def test_heuristic_in_enumeration_when_forced(cfg_name, nthreads):
+    """With must_include, the heuristic's class is always enumerated —
+    even for odd thread counts where the paper's heuristic produces a
+    dominated mapping that the default filter would drop."""
+    cfg = get_config(cfg_name)
+    if nthreads > cfg.total_contexts:
+        return
+    heur = heuristic_mapping(cfg, list(range(nthreads, 0, -1)))
+    maps = enumerate_mappings(cfg, nthreads, must_include=[heur])
+    keys = {canonical_mapping(cfg, m) for m in maps}
+    assert canonical_mapping(cfg, heur) in keys
+
+
+@given(config_names)
+@settings(max_examples=20, deadline=None)
+def test_heuristic_never_dominated_when_saturated(cfg_name):
+    """When threads == contexts every pipeline is full, no pipeline can be
+    empty, and the heuristic's mapping must appear in plain enumeration.
+    (With spare contexts the paper's heuristic CAN produce dominated
+    mappings — step 6 only retires full pipelines — which is why the
+    oracle search force-includes it.)"""
+    cfg = get_config(cfg_name)
+    n = cfg.total_contexts
+    heur = heuristic_mapping(cfg, list(range(n, 0, -1)))
+    keys = {canonical_mapping(cfg, m) for m in enumerate_mappings(cfg, n)}
+    assert canonical_mapping(cfg, heur) in keys

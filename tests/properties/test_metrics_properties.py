@@ -1,0 +1,67 @@
+"""Property-based tests: metric identities."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics.stats import (
+    arithmetic_mean,
+    geometric_mean,
+    harmonic_mean,
+    heuristic_accuracy,
+    relative_improvement,
+)
+
+pos = st.floats(min_value=1e-3, max_value=1e3, allow_nan=False, allow_infinity=False)
+pos_lists = st.lists(pos, min_size=1, max_size=20)
+
+
+@given(pos_lists)
+@settings(max_examples=100)
+def test_mean_inequality(vals):
+    h = harmonic_mean(vals)
+    g = geometric_mean(vals)
+    a = arithmetic_mean(vals)
+    assert h <= g * (1 + 1e-9)
+    assert g <= a * (1 + 1e-9)
+
+
+@given(pos_lists)
+@settings(max_examples=100)
+def test_means_bounded_by_extremes(vals):
+    for mean in (harmonic_mean, geometric_mean, arithmetic_mean):
+        m = mean(vals)
+        assert min(vals) * (1 - 1e-9) <= m <= max(vals) * (1 + 1e-9)
+
+
+@given(pos, pos_lists)
+@settings(max_examples=100)
+def test_harmonic_scale_equivariant(k, vals):
+    scaled = [k * v for v in vals]
+    assert harmonic_mean(scaled) == pytest_approx(k * harmonic_mean(vals))
+
+
+def pytest_approx(x):
+    import pytest
+
+    return pytest.approx(x, rel=1e-9)
+
+
+@given(pos, pos)
+@settings(max_examples=100)
+def test_relative_improvement_antisymmetry(a, b):
+    """x improves over y by d => y 'improves' over x by -d/(1+d)."""
+    d = relative_improvement(a, b)
+    back = relative_improvement(b, a)
+    assert back == pytest_approx(-d / (1 + d))
+
+
+@given(pos_lists)
+@settings(max_examples=100)
+def test_accuracy_is_one_when_equal(vals):
+    assert heuristic_accuracy(vals, vals) == pytest_approx(1.0)
+
+
+@given(pos_lists, st.floats(min_value=0.1, max_value=1.0))
+@settings(max_examples=100)
+def test_accuracy_scales_with_uniform_degradation(vals, f):
+    degraded = [v * f for v in vals]
+    assert heuristic_accuracy(degraded, vals) == pytest_approx(f)

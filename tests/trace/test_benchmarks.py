@@ -1,0 +1,84 @@
+"""Unit tests: SPECint2000 benchmark profiles."""
+
+import pytest
+
+from repro.trace.benchmarks import (
+    BENCHMARKS,
+    BENCHMARK_NAMES,
+    BenchmarkProfile,
+    ILP_BENCHMARKS,
+    MEM_BENCHMARKS,
+    get_benchmark,
+)
+
+
+def test_all_twelve_specint_present():
+    expected = {
+        "gzip",
+        "vpr",
+        "gcc",
+        "mcf",
+        "crafty",
+        "parser",
+        "eon",
+        "perlbmk",
+        "gap",
+        "vortex",
+        "bzip2",
+        "twolf",
+    }
+    assert set(BENCHMARK_NAMES) == expected
+
+
+def test_paper_classification():
+    assert set(MEM_BENCHMARKS) == {"mcf", "twolf", "vpr", "perlbmk"}
+    assert len(ILP_BENCHMARKS) == 8
+
+
+def test_mix_fractions_valid():
+    for p in BENCHMARKS.values():
+        assert 0 < p.int_frac < 1
+        total = (
+            p.load_frac + p.store_frac + p.branch_frac + p.mul_frac + p.fp_frac + p.int_frac
+        )
+        assert total == pytest.approx(1.0)
+
+
+def test_mem_class_has_bigger_working_sets():
+    max_ilp = max(BENCHMARKS[n].working_set_bytes for n in ILP_BENCHMARKS)
+    min_mem = min(BENCHMARKS[n].working_set_bytes for n in MEM_BENCHMARKS)
+    assert min_mem > max_ilp
+
+
+def test_mcf_is_the_extreme():
+    mcf = BENCHMARKS["mcf"]
+    for n, p in BENCHMARKS.items():
+        if n != "mcf":
+            assert mcf.working_set_bytes > p.working_set_bytes
+
+
+def test_code_footprints():
+    # gcc famously exceeds a 64 KB L1I; eon fits easily.
+    assert BENCHMARKS["gcc"].code_bytes > 64 * 1024
+    assert BENCHMARKS["eon"].code_bytes < 64 * 1024
+
+
+def test_eon_has_fp_content():
+    assert BENCHMARKS["eon"].fp_frac > 0
+
+
+def test_get_benchmark_error_lists_names():
+    with pytest.raises(KeyError, match="gzip"):
+        get_benchmark("nonexistent")
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        BenchmarkProfile(name="x", workload_class="ILP", load_frac=0.9, store_frac=0.2)
+    with pytest.raises(ValueError):
+        BenchmarkProfile(name="x", workload_class="OTHER")
+
+
+def test_mean_block_size():
+    p = BENCHMARKS["gzip"]
+    assert p.mean_block_size == pytest.approx(1.0 / p.branch_frac)

@@ -1,0 +1,52 @@
+"""Unit tests: the heuristic's profile pass."""
+
+import pytest
+
+from repro.trace.benchmarks import ILP_BENCHMARKS, MEM_BENCHMARKS
+from repro.trace.profiling import (
+    clear_profile_cache,
+    profile_benchmark,
+    profile_workload,
+)
+
+
+def test_profile_deterministic_and_cached():
+    clear_profile_cache()
+    p1 = profile_benchmark("gzip", 5000)
+    p2 = profile_benchmark("gzip", 5000)
+    assert p1 is p2
+    clear_profile_cache()
+    p3 = profile_benchmark("gzip", 5000)
+    assert p3.l1d_misses == p1.l1d_misses
+
+
+def test_mem_class_misses_dominate_ilp():
+    worst_ilp = max(
+        profile_benchmark(b, 8000).misses_per_kilo_instruction for b in ILP_BENCHMARKS
+    )
+    best_mem = min(
+        profile_benchmark(b, 8000).misses_per_kilo_instruction for b in MEM_BENCHMARKS
+    )
+    assert best_mem > worst_ilp
+
+
+def test_mem_internal_ordering():
+    """The heuristic's sort key must order mcf > twolf > vpr > perlbmk."""
+    mpki = {
+        b: profile_benchmark(b, 12_000).misses_per_kilo_instruction
+        for b in ("mcf", "twolf", "vpr", "perlbmk")
+    }
+    assert mpki["mcf"] > mpki["twolf"] > mpki["vpr"] > mpki["perlbmk"]
+
+
+def test_profile_fields_consistent():
+    p = profile_benchmark("vpr", 6000)
+    assert p.instructions == 6000
+    assert 0 <= p.l1d_misses <= p.accesses
+    assert p.l2_misses <= p.l1d_misses
+    assert p.l1d_miss_rate == pytest.approx(p.l1d_misses / p.accesses)
+
+
+def test_profile_workload_order():
+    profs = profile_workload(["eon", "mcf"], 4000)
+    assert [p.benchmark for p in profs] == ["eon", "mcf"]

@@ -1,0 +1,57 @@
+"""Unit tests: Trace objects and the process-wide cache."""
+
+import pytest
+
+from repro.trace.stream import Trace, clear_trace_cache, trace_for
+from repro.trace.benchmarks import get_benchmark
+
+
+def test_trace_for_caches():
+    clear_trace_cache()
+    t1 = trace_for("gzip", 2000)
+    t2 = trace_for("gzip", 2000)
+    assert t1 is t2
+
+
+def test_distinct_instances_differ():
+    a = trace_for("gzip", 2000, instance=0)
+    b = trace_for("gzip", 2000, instance=1)
+    assert a is not b
+    assert a.entries != b.entries
+
+
+def test_entry_wraps_modulo():
+    t = trace_for("eon", 1000)
+    assert t.entry(0) == t.entry(1000) == t.entry(2000)
+
+
+def test_next_pc_is_next_entrys_pc():
+    t = trace_for("eon", 1000)
+    assert t.next_pc(5) == t.entries[6][6]
+    assert t.next_pc(999) == t.entries[0][6]  # wrap
+
+
+def test_junk_entries_wrap():
+    t = trace_for("eon", 1000)
+    assert t.junk_entry(0) == t.junk_entry(len(t.junk))
+
+
+def test_len(t=None):
+    t = trace_for("eon", 1234)
+    assert len(t) == 1234
+
+
+def test_empty_trace_rejected():
+    prof = get_benchmark("gzip")
+    with pytest.raises(ValueError):
+        Trace("x", prof, [], [(0, 1, -1, -1, 0, 0, 0)])
+    with pytest.raises(ValueError):
+        Trace("x", prof, [(0, 1, -1, -1, 0, 0, 0)], [])
+
+
+def test_clear_cache():
+    t1 = trace_for("gzip", 2000)
+    clear_trace_cache()
+    t2 = trace_for("gzip", 2000)
+    assert t1 is not t2
+    assert t1.entries == t2.entries  # still deterministic
