@@ -1,0 +1,26 @@
+# hdSMT reproduction — one-keystroke entry points.
+#
+#   make test     tier-1 suite (what CI / the roadmap gate runs)
+#   make bench    opt-in figure + throughput benchmarks (writes
+#                 benchmarks/output/*.txt and BENCH_0001.json)
+#   make figures  regenerate Figs. 4/5 + the §5 summary via the CLI
+#
+# Knobs: REPRO_SIM_SCALE (window scale), REPRO_WORKERS (BatchRunner
+# processes), REPRO_RESULT_CACHE (on-disk result cache directory).
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-throughput figures
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	RUN_BENCH=1 $(PYTHON) -m pytest benchmarks -q
+
+bench-throughput:
+	RUN_BENCH=1 $(PYTHON) -m pytest benchmarks/test_simulator_throughput.py -q
+
+figures:
+	$(PYTHON) -m repro figures

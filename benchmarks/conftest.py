@@ -4,10 +4,16 @@ Every bench writes its regenerated artifact both to stdout and to
 ``benchmarks/output/<name>.txt``; EXPERIMENTS.md records the outputs of a
 full run next to the paper's numbers.
 
+The harness is **opt-in** (tier-1 `pytest` collects only ``tests/``, see
+pyproject.toml): every item here carries the ``bench`` marker and is
+skipped unless ``RUN_BENCH=1`` is set — ``make bench`` does both, or run
+``RUN_BENCH=1 pytest benchmarks -q`` directly.
+
 Scale: `REPRO_SIM_SCALE` (float) multiplies the simulation windows; the
 default is sized so the full harness regenerates every figure in minutes
 on a laptop. The Fig. 4 / Fig. 5 / headline benches share one sweep via a
-session-scoped cache.
+session-scoped cache. `REPRO_WORKERS` sizes the BatchRunner pool that
+fans the oracle mapping screens out over processes.
 """
 
 from __future__ import annotations
@@ -21,6 +27,19 @@ from repro.experiments.performance import run_performance_experiment
 from repro.experiments.scale import ExperimentScale
 
 OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def pytest_collection_modifyitems(config, items):
+    """Mark every benchmark `bench` and gate it behind RUN_BENCH=1."""
+    bench = pytest.mark.bench
+    enabled = bool(os.environ.get("RUN_BENCH"))
+    skip = pytest.mark.skip(
+        reason="benchmarks are opt-in: run via `make bench` or RUN_BENCH=1"
+    )
+    for item in items:
+        item.add_marker(bench)
+        if not enabled:
+            item.add_marker(skip)
 
 
 def bench_scale() -> ExperimentScale:

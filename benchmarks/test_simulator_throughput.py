@@ -2,14 +2,27 @@
 
 Not a paper artifact — these track the cost of the hot paths (the
 profiling-first discipline of the HPC guides: measure before and after
-touching the simulator loops).
+touching the simulator loops). ``test_simulator_cycles_per_second``
+additionally snapshots its result to ``BENCH_0001.json`` at the repo
+root, next to the recorded seed-engine baseline, so the throughput
+trajectory is tracked across PRs.
 """
+
+import json
+from pathlib import Path
 
 from repro.branch.perceptron import PerceptronPredictor
 from repro.core.config import get_config
 from repro.core.processor import Processor
 from repro.memory.cache import SetAssociativeCache
 from repro.trace.stream import trace_for
+
+#: Seed-engine throughput on this benchmark (best of 3 construct+warm+run
+#: rounds, measured on the same machine before the timing-wheel /
+#: idle-skip / warm-cache engine landed). The snapshot below compares
+#: the current engine against it.
+SEED_CYCLES_PER_SECOND = 26_462
+BENCH_SNAPSHOT = Path(__file__).resolve().parent.parent / "BENCH_0001.json"
 
 
 def test_cache_access_throughput(benchmark):
@@ -49,7 +62,13 @@ def test_trace_generation_throughput(benchmark):
 
 
 def test_simulator_cycles_per_second(benchmark):
-    """End-to-end simulation speed on a 4-thread hdSMT configuration."""
+    """End-to-end simulation speed on a 4-thread hdSMT configuration.
+
+    Writes a ``BENCH_0001.json`` perf snapshot (cycles/sec now vs the
+    recorded seed engine) so the trajectory survives across PRs. Five
+    rounds: the first pays the cold trace warm-up, the rest measure the
+    steady state an experiment sweep actually runs in.
+    """
     cfg = get_config("2M4+2M2")
     traces = [trace_for(b, 6000) for b in ("gzip", "twolf", "bzip2", "mcf")]
 
@@ -59,5 +78,31 @@ def test_simulator_cycles_per_second(benchmark):
         proc.run()
         return proc.cycle
 
-    cycles = benchmark.pedantic(run, rounds=3, iterations=1)
+    cycles = benchmark.pedantic(run, rounds=5, iterations=1)
     assert cycles > 0
+
+    stats = benchmark.stats.stats  # pytest-benchmark's Stats object
+    best = cycles / stats.min
+    mean = cycles / stats.mean
+    snapshot = {
+        "benchmark": "test_simulator_cycles_per_second",
+        "scenario": {
+            "config": "2M4+2M2",
+            "benchmarks": ["gzip", "twolf", "bzip2", "mcf"],
+            "mapping": [0, 2, 1, 3],
+            "commit_target": 3000,
+            "trace_length": 6000,
+        },
+        "cycles": cycles,
+        "seconds_min": stats.min,
+        "seconds_mean": stats.mean,
+        "cycles_per_second_best": round(best),
+        "cycles_per_second_mean": round(mean),
+        "seed_cycles_per_second": SEED_CYCLES_PER_SECOND,
+        "speedup_vs_seed_best": round(best / SEED_CYCLES_PER_SECOND, 3),
+        "speedup_vs_seed_mean": round(mean / SEED_CYCLES_PER_SECOND, 3),
+    }
+    BENCH_SNAPSHOT.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"\n[simulator throughput] best {best:,.0f} cycles/s, "
+          f"{best / SEED_CYCLES_PER_SECOND:.2f}x the seed engine "
+          f"[saved to {BENCH_SNAPSHOT}]")

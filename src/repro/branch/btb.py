@@ -77,6 +77,23 @@ class BranchTargetBuffer:
         targets.pop(i)
         targets.insert(0, target)
 
+    def dump_state(self) -> tuple:
+        """Copy of (tags, targets, stats) for exact restore."""
+        return (
+            [t[:] for t in self._tags],
+            [t[:] for t in self._targets],
+            self.lookups,
+            self.hits,
+        )
+
+    def load_state(self, snap: tuple) -> None:
+        """Restore a :meth:`dump_state` snapshot."""
+        tags, targets, lookups, hits = snap
+        self._tags = [t[:] for t in tags]
+        self._targets = [t[:] for t in targets]
+        self.lookups = lookups
+        self.hits = hits
+
     @property
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0

@@ -123,8 +123,19 @@ class PerceptronPredictor:
     def predict(self, thread: int, pc: int) -> bool:
         """Predict the direction of the branch at ``pc`` for ``thread``."""
         self.lookups += 1
-        weights = self._weights[self._index(pc)]
-        return self._output(weights, self._inputs(thread, pc)) >= 0
+        word = pc >> 2
+        weights = self._weights[(word ^ (word >> 8)) & (self.num_perceptrons - 1)]
+        g = self._global_history[thread] & self._pred_mask_global
+        l = self._local_history[word & (self.local_entries - 1)] & self._pred_mask_local
+        inputs = (g << self.local_bits) | l
+        y = weights[0]
+        for w in weights[1:]:
+            if inputs & 1:
+                y += w
+            else:
+                y -= w
+            inputs >>= 1
+        return y >= 0
 
     def predict_with_confidence(self, thread: int, pc: int) -> tuple[bool, int]:
         """Return ``(taken, |y|)`` — the margin doubles as confidence."""
@@ -140,34 +151,67 @@ class PerceptronPredictor:
         real front ends; the trace-driven model trains and shifts together,
         which is the standard SMTSIM simplification.
         """
-        idx = self._index(pc)
-        weights = self._weights[idx]
-        inputs = self._inputs(thread, pc)
-        y = self._output(weights, inputs)
+        word = pc >> 2
+        weights = self._weights[(word ^ (word >> 8)) & (self.num_perceptrons - 1)]
+        li = word & (self.local_entries - 1)
+        g = self._global_history[thread] & self._pred_mask_global
+        l = self._local_history[li] & self._pred_mask_local
+        inputs = (g << self.local_bits) | l
+        y = weights[0]
+        bits = inputs
+        for w in weights[1:]:
+            if bits & 1:
+                y += w
+            else:
+                y -= w
+            bits >>= 1
         pred = y >= 0
         if pred != taken:
             self.mispredicts += 1
-        if pred != taken or abs(y) <= self.theta:
+        if pred != taken or (y if y >= 0 else -y) <= self.theta:
             self.trainings += 1
             t = 1 if taken else -1
             limit = self.weight_limit
+            neg = -limit
             w0 = weights[0] + t
-            weights[0] = limit if w0 > limit else (-limit if w0 < -limit else w0)
+            weights[0] = limit if w0 > limit else (neg if w0 < neg else w0)
             bits = inputs
-            for i in range(1, self.history_length + 1):
-                x = 1 if bits & 1 else -1
-                w = weights[i] + t * x
-                weights[i] = limit if w > limit else (-limit if w < -limit else w)
+            trained = []
+            append = trained.append
+            for w in weights[1:]:
+                w = w + t if bits & 1 else w - t
+                append(limit if w > limit else (neg if w < neg else w))
                 bits >>= 1
+            weights[1:] = trained
         # history shifts
         bit = 1 if taken else 0
         self._global_history[thread] = (
             (self._global_history[thread] << 1) | bit
         ) & self._pred_mask_global
-        li = self._local_index(pc)
         self._local_history[li] = (
             (self._local_history[li] << 1) | bit
         ) & self._pred_mask_local
+
+    def dump_state(self) -> tuple:
+        """Copy of (weights, histories, stats) for exact restore."""
+        return (
+            [w[:] for w in self._weights],
+            self._local_history[:],
+            self._global_history[:],
+            self.lookups,
+            self.mispredicts,
+            self.trainings,
+        )
+
+    def load_state(self, snap: tuple) -> None:
+        """Restore a :meth:`dump_state` snapshot."""
+        weights, local, global_, lookups, mispredicts, trainings = snap
+        self._weights = [w[:] for w in weights]
+        self._local_history = local[:]
+        self._global_history = global_[:]
+        self.lookups = lookups
+        self.mispredicts = mispredicts
+        self.trainings = trainings
 
     def reset_thread(self, thread: int) -> None:
         """Clear one thread's global history (context switch)."""

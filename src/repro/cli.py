@@ -96,7 +96,10 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         scale = ExperimentScale().scaled(args.scale)
     workloads = args.workloads or None
     results = run_performance_experiment(
-        workload_names=workloads, scale=scale, progress=not args.quiet
+        workload_names=workloads,
+        scale=scale,
+        progress=not args.quiet,
+        workers=args.jobs,
     )
     for cls in ("ILP", "MEM", "MIX"):
         print(fig4_table(results, cls))
@@ -136,6 +139,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--scale", type=float, help="window scale factor")
     p_fig.add_argument("--workloads", nargs="*", help="restrict workload ids")
     p_fig.add_argument("--quiet", action="store_true")
+    p_fig.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="worker processes for the mapping sweeps "
+        "(default: REPRO_WORKERS or all cores)",
+    )
     p_fig.set_defaults(func=_cmd_figures)
 
     return parser

@@ -62,6 +62,7 @@ def remap_threads(proc: Processor, new_mapping: Sequence[int]) -> int:
         proc.pipelines[old_p].threads.remove(t)
         proc.pipelines[new_p].threads.append(t)
         proc.pipe_of[t] = new_p
+        proc._pipe_by_thread[t] = proc.pipelines[new_p]
         moves += 1
     if moves:
         proc.active_pipes = [pl for pl in proc.pipelines if pl.threads]

@@ -26,10 +26,18 @@ Modeled behaviours (all load-bearing for the paper's results):
   refill after a branch mispredict (two extra pipeline stages).
 
 Implementation style: per the HPC-guide discipline the per-cycle work is
-O(machine width), not O(window): completions are events in a timing
-wheel, wakeups walk dependent lists, ready instructions sit in per-FU
-age-ordered heaps. Hot state lives in parallel per-thread lists (no
-per-instruction objects are allocated during simulation).
+O(machine width), not O(window). Completions are events in a *ring-buffer
+timing wheel* sized to the worst-case latency (one list index to pop a
+cycle's events, no dict hashing); wakeups walk dependent lists; ready
+instructions sit in per-FU age-ordered heaps. Hot per-slot ROB state
+lives in flat preallocated parallel arrays indexed ``thread * rob_entries
++ slot`` (one indexing level instead of two), bound to locals inside the
+stage loops; no per-instruction objects are allocated during simulation.
+``run()`` additionally *skips idle cycles*: when no instruction can
+commit, issue, rename or fetch this cycle, the clock jumps directly to
+the next scheduled event or fetch-stall expiry instead of spinning
+``step()`` — bit-identical to stepping (the skipped cycles are provably
+no-ops), but long memory stalls cost O(1) instead of O(latency).
 """
 
 from __future__ import annotations
@@ -48,12 +56,25 @@ from repro.isa.opcodes import (
     OP_LOAD,
     OP_RETURN,
     OP_STORE,
+    _FU_OF_OP,
     fu_class,
 )
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.trace.stream import Trace
 
-__all__ = ["Processor", "Pipeline"]
+__all__ = ["Processor", "Pipeline", "clear_warm_cache"]
+
+#: Memoized post-warm structure state, keyed on (memory params, thread
+#: count, trace identities). Entries hold strong references to their
+#: traces so object ids can never be recycled into a false hit; FIFO
+#: eviction bounds the footprint for one-off trace sets (composites).
+_WARM_CACHE: Dict[tuple, tuple] = {}
+_WARM_CACHE_MAX = 128
+
+
+def clear_warm_cache() -> None:
+    """Drop memoized warm-up snapshots (tests / memory pressure)."""
+    _WARM_CACHE.clear()
 
 # ROB slot states.
 S_FREE = 0
@@ -71,6 +92,11 @@ FL_LOADCTR = 4  #: counted in the thread's in-flight-load counter
 EV_COMPLETE = 0
 EV_FLUSHCHK = 1
 
+# Fetch-policy fast paths recognized by _fetch (fall back to sort_key).
+_PK_GENERIC = 0
+_PK_ICOUNT = 1  # icount / flush: key (icount[t], t)
+_PK_L1M = 2  # l1mcount: key (inflight[t], -width, icount[t], t)
+
 
 class Pipeline:
     """Run-time state of one pipeline (cluster)."""
@@ -78,6 +104,8 @@ class Pipeline:
     __slots__ = (
         "index",
         "model",
+        "width",
+        "tpc",
         "buffer",
         "buffer_cap",
         "iq_used",
@@ -91,6 +119,8 @@ class Pipeline:
     def __init__(self, index: int, model) -> None:
         self.index = index
         self.model = model
+        self.width = model.width
+        self.tpc = model.threads_per_cycle
         #: decoupling buffer entries: (thread, entry, trace_idx, flags)
         self.buffer: deque = deque()
         self.buffer_cap = model.fetch_buffer
@@ -163,17 +193,51 @@ class Processor:
             self.pipelines[p].threads.append(t)
         #: pipelines with at least one thread (simulated; idle ones are off)
         self.active_pipes = [pl for pl in self.pipelines if pl.threads]
+        #: thread -> its Pipeline object (kept in sync by dynamic remapping)
+        self._pipe_by_thread = [self.pipelines[p] for p in self.pipe_of]
 
         self.mem = MemoryHierarchy(self.params.memory, max_threads=n)
         self.branch_unit = BranchUnit(max_threads=n)
         self.policy = make_policy(config.fetch_policy)
+        pol = config.fetch_policy
+        if pol in ("icount", "flush"):
+            self._policy_kind = _PK_ICOUNT
+        elif pol == "l1mcount":
+            self._policy_kind = _PK_L1M
+        else:
+            self._policy_kind = _PK_GENERIC
 
         # --- shared resources -------------------------------------------
         self.phys_free = self.params.rename_registers
         self.cycle = 0
         self.seq = 0
-        self.events: Dict[int, List] = {}
         self.finished = False
+
+        # --- timing wheel -------------------------------------------------
+        # Sized to the worst-case event latency: a load that misses the
+        # D-TLB, both cache levels, plus the register-file tax; any event
+        # is scheduled strictly less than `size` cycles ahead, so slot
+        # (cycle & mask) holds exactly cycle's events. `_far_events` is a
+        # safety net for out-of-horizon schedules (custom parameter sets).
+        m = self.params.memory
+        horizon = (
+            m.tlb_miss_penalty
+            + m.l1_latency
+            + m.l1_miss_penalty
+            + m.memory_latency
+            + max(EXEC_LATENCY)
+            + self.params.extra_reg_cycles
+            + m.flush_threshold
+            + 8
+        )
+        size = 1 << horizon.bit_length()
+        if size < 64:
+            size = 64
+        self._wheel: List[Optional[List[tuple]]] = [None] * size
+        self._wheel_mask = size - 1
+        self._far_events: Dict[int, List[tuple]] = {}
+        #: count of instructions currently in state S_READY (for idle skip)
+        self._ready_count = 0
 
         # --- per-thread front-end state ----------------------------------
         self.fetch_idx = [0] * n
@@ -187,27 +251,49 @@ class Processor:
         self.inflight_loads = [0] * n
         self.committed = [0] * n
 
-        # --- per-thread ROB (ring buffers of parallel lists) -------------
+        # --- per-thread ROB: flat parallel arrays, slot = t * r + idx -----
         r = self.params.rob_entries
         self.rob_entries = r
         self.rob_head = [0] * n
         self.rob_tail = [0] * n
         self.rob_count = [0] * n
-        self.rob_entry = [[None] * r for _ in range(n)]
-        self.rob_state = [[S_FREE] * r for _ in range(n)]
-        self.rob_pending = [[0] * r for _ in range(n)]
-        self.rob_deps: List[List[List[Tuple[int, int]]]] = [
-            [[] for _ in range(r)] for _ in range(n)
-        ]
-        self.rob_traceidx = [[-1] * r for _ in range(n)]
-        self.rob_prevprod = [[-1] * r for _ in range(n)]
-        self.rob_prevseq = [[-1] * r for _ in range(n)]
-        self.rob_seq = [[-1] * r for _ in range(n)]
-        self.rob_epoch = [[0] * r for _ in range(n)]
-        self.rob_flags = [[0] * r for _ in range(n)]
+        nr = n * r
+        self._rob_entry: List[Optional[tuple]] = [None] * nr
+        self._rob_state = [S_FREE] * nr
+        self._rob_pending = [0] * nr
+        self._rob_deps: List[List[Tuple[int, int]]] = [[] for _ in range(nr)]
+        self._rob_traceidx = [-1] * nr
+        self._rob_prevprod = [-1] * nr
+        self._rob_prevseq = [-1] * nr
+        self._rob_seq = [-1] * nr
+        self._rob_epoch = [0] * nr
+        self._rob_flags = [0] * nr
+        #: one-lookup bundle for the stage prologues (unpacked into locals)
+        self._rob_arrays = (
+            self._rob_entry,
+            self._rob_state,
+            self._rob_pending,
+            self._rob_deps,
+            self._rob_traceidx,
+            self._rob_prevprod,
+            self._rob_prevseq,
+            self._rob_seq,
+            self._rob_epoch,
+            self._rob_flags,
+        )
 
         #: rename map: logical reg -> producing ROB slot (-1 = value ready)
         self.reg_map = [[-1] * 64 for _ in range(n)]
+
+        # --- hoisted hot parameters --------------------------------------
+        self._extra_reg = self.params.extra_reg_cycles
+        self._l1_lat = m.l1_latency
+        self._flush_thr = m.flush_threshold
+        self._fetch_width = self.params.fetch_width
+        self._fetch_threads = self.params.fetch_threads
+        self._redirect_stall = (
+            self.params.branch_redirect_penalty + 2 * self.params.extra_reg_cycles
+        )
 
         # --- statistics ------------------------------------------------------
         self.stat_fetched = [0] * n
@@ -219,6 +305,73 @@ class Processor:
         self.stat_btb_bubbles = 0
 
         self._commit_rotor = 0
+        self._warmed = False
+
+    # ------------------------------------------------- compatibility views
+
+    def _nested(self, flat: list) -> List[list]:
+        r = self.rob_entries
+        return [flat[t * r:(t + 1) * r] for t in range(self.num_threads)]
+
+    @property
+    def rob_entry(self) -> List[list]:
+        """Per-thread view of the flat ROB entry array (read-only copy)."""
+        return self._nested(self._rob_entry)
+
+    @property
+    def rob_state(self) -> List[list]:
+        return self._nested(self._rob_state)
+
+    @property
+    def rob_pending(self) -> List[list]:
+        return self._nested(self._rob_pending)
+
+    @property
+    def rob_deps(self) -> List[list]:
+        return self._nested(self._rob_deps)
+
+    @property
+    def rob_traceidx(self) -> List[list]:
+        return self._nested(self._rob_traceidx)
+
+    @property
+    def rob_prevprod(self) -> List[list]:
+        return self._nested(self._rob_prevprod)
+
+    @property
+    def rob_prevseq(self) -> List[list]:
+        return self._nested(self._rob_prevseq)
+
+    @property
+    def rob_seq(self) -> List[list]:
+        return self._nested(self._rob_seq)
+
+    @property
+    def rob_epoch(self) -> List[list]:
+        return self._nested(self._rob_epoch)
+
+    @property
+    def rob_flags(self) -> List[list]:
+        return self._nested(self._rob_flags)
+
+    @property
+    def events(self) -> Dict[int, List[tuple]]:
+        """Pending events as {absolute_cycle: [(kind, t, slot, epoch), ...]}.
+
+        Reconstructed from the timing wheel (a compatibility/debugging
+        view; the hot path never builds this dict).
+        """
+        out: Dict[int, List[tuple]] = {}
+        cyc = self.cycle
+        wheel = self._wheel
+        mask = self._wheel_mask
+        for d in range(len(wheel)):
+            evs = wheel[(cyc + d) & mask]
+            if evs:
+                out[cyc + d] = list(evs)
+        for when, evs in self._far_events.items():
+            out.setdefault(when, []).extend(evs)
+        return out
 
     # ------------------------------------------------------------------ warm
 
@@ -229,153 +382,328 @@ class Processor:
         short windows would otherwise be dominated by compulsory misses
         and an untrained perceptron. Statistics accumulated here are reset
         by the caller via fresh counters (see ``run_simulation``).
+
+        Warming is deterministic in (traces, memory params, thread count)
+        when the processor is fresh, so the post-warm structure state is
+        memoized process-wide: the oracle mapping sweeps re-simulate the
+        same workload dozens of times and every run after the first
+        restores the snapshot (bit-identical, including warm-time
+        statistics) instead of streaming the window again.
         """
         mem = self.mem
         unit = self.branch_unit
+        fresh = not self._warmed and self.cycle == 0 and self.seq == 0
+        if fresh:
+            key = (
+                self.params.memory,
+                self.num_threads,
+                tuple(id(t) for t in self.traces),
+            )
+            cached = _WARM_CACHE.get(key)
+            if cached is not None and all(
+                a is b for a, b in zip(cached[0], self.traces)
+            ):
+                _, l1i, l1d, l2, itlb, dtlb, pred, btb = cached
+                mem.l1i.load_state(l1i)
+                mem.l1d.load_state(l1d)
+                mem.l2.load_state(l2)
+                mem.itlb.load_state(itlb)
+                mem.dtlb.load_state(dtlb)
+                unit.predictor.load_state(pred)
+                unit.btb.load_state(btb)
+                self._warmed = True
+                return
+        self._warmed = True
+        dtlb_access = mem.dtlb.access
+        l1d_access = mem.l1d.access
+        l2_access = mem.l2.access
+        itlb_access = mem.itlb.access
+        l1i_access = mem.l1i.access
+        pred_update = unit.predictor.update
+        btb_update = unit.btb.update
         for t, trace in enumerate(self.traces):
             entries = trace.entries
             length = trace.length
             for i, e in enumerate(entries):
                 op = e[0]
                 if op == OP_LOAD or op == OP_STORE:
-                    mem.dtlb.access(e[4], t)
-                    if not mem.l1d.access(e[4], t):
-                        mem.l2.access(e[4], t)
+                    dtlb_access(e[4], t)
+                    if not l1d_access(e[4], t):
+                        l2_access(e[4], t)
                 elif op == OP_BRANCH:
-                    unit.predictor.update(t, e[6], bool(e[5]))
+                    pred_update(t, e[6], bool(e[5]))
                     if e[5]:
-                        unit.btb.update(t, e[6], entries[(i + 1) % length][6])
+                        btb_update(t, e[6], entries[(i + 1) % length][6])
                 elif (op == OP_CALL or op == OP_RETURN) and e[5]:
-                    unit.btb.update(t, e[6], entries[(i + 1) % length][6])
-                mem.itlb.access(e[6], t)
-                mem.l1i.access(e[6], t)
+                    btb_update(t, e[6], entries[(i + 1) % length][6])
+                itlb_access(e[6], t)
+                l1i_access(e[6], t)
             # Wrong-path code lives in the basic-block dictionary too; a
             # real front end finds most of it resident.
             for e in trace.junk:
-                mem.itlb.access(e[6], t)
-                if not mem.l1i.access(e[6], t):
-                    mem.l2.access(e[6], t)
+                itlb_access(e[6], t)
+                if not l1i_access(e[6], t):
+                    l2_access(e[6], t)
+        if fresh:
+            if len(_WARM_CACHE) >= _WARM_CACHE_MAX:
+                _WARM_CACHE.pop(next(iter(_WARM_CACHE)))
+            _WARM_CACHE[key] = (
+                tuple(self.traces),
+                mem.l1i.dump_state(),
+                mem.l1d.dump_state(),
+                mem.l2.dump_state(),
+                mem.itlb.dump_state(),
+                mem.dtlb.dump_state(),
+                unit.predictor.dump_state(),
+                unit.btb.dump_state(),
+            )
 
     # ------------------------------------------------------------------- run
 
     def run(self, max_cycles: Optional[int] = None) -> int:
         """Simulate until a thread reaches the commit target (or the cycle
-        cap, a safety net). Returns the cycle count."""
+        cap, a safety net). Returns the cycle count.
+
+        Idle cycles — no event due, nothing ready to issue, nothing to
+        commit, rename or fetch — are skipped in O(1): the clock jumps to
+        the next scheduled event or fetch-stall expiry. The jump is
+        clamped to ``max_cycles`` so skipping can never overshoot the
+        safety cap.
+        """
         if max_cycles is None:
             max_cycles = 400 * self.commit_target + 10_000
-        step = self.step
-        while not self.finished and self.cycle < max_cycles:
-            step()
+        wheel = self._wheel
+        mask = self._wheel_mask
+        size = mask + 1
+        far = self._far_events
+        rob_state = self._rob_state
+        rob_head = self.rob_head
+        rob_count = self.rob_count
+        flush_wait = self.flush_wait
+        stall = self.fetch_stall_until
+        active = self.active_pipes
+        n = self.num_threads
+        r = self.rob_entries
+        commit = self._commit
+        writeback = self._writeback
+        issue = self._issue
+        rename = self._rename
+        fetch = self._fetch
+        while not self.finished:
+            cyc = self.cycle
+            if cyc >= max_cycles:
+                break
+            # --- idle-cycle fast path -----------------------------------
+            # A cycle is provably a no-op when: no event fires now, no
+            # instruction is READY, no ROB head is DONE, every decoupling
+            # buffer is empty (nothing to rename) and every thread's fetch
+            # is gated (flush-wait or stalled). Until the next event /
+            # stall expiry the machine state cannot change, so the skipped
+            # cycles are bit-identical to stepping through them.
+            if (
+                self._ready_count == 0
+                and not wheel[cyc & mask]
+                and (not far or cyc not in far)
+            ):
+                idle = True
+                for t in range(n):
+                    if rob_count[t] and rob_state[t * r + rob_head[t]] == S_DONE:
+                        idle = False
+                        break
+                    if not flush_wait[t] and cyc >= stall[t]:
+                        idle = False
+                        break
+                if idle:
+                    for pl in active:
+                        if pl.buffer:
+                            idle = False
+                            break
+                if idle:
+                    wake = max_cycles
+                    for d in range(1, size):
+                        if wheel[(cyc + d) & mask]:
+                            if cyc + d < wake:
+                                wake = cyc + d
+                            break
+                    if far:
+                        nxt = min(far)
+                        if nxt < wake:
+                            wake = nxt
+                    for t in range(n):
+                        if not flush_wait[t]:
+                            s = stall[t]
+                            if cyc < s < wake:
+                                wake = s
+                    if wake <= cyc:  # pragma: no cover - defensive
+                        wake = cyc + 1
+                    # The commit rotor advances once per cycle (even idle
+                    # ones) in step(); account for the skipped cycles.
+                    self._commit_rotor += wake - cyc
+                    self.cycle = wake
+                    continue
+            # --- one cycle (same stage order as step()) -----------------
+            commit()
+            if wheel[cyc & mask] or far:
+                writeback()
+            for pl in active:
+                ready = pl.ready
+                if ready[0] or ready[1] or ready[2]:
+                    issue(pl)
+            for pl in active:
+                if pl.buffer:
+                    rename(pl)
+            fetch()
+            self.cycle = cyc + 1
         return self.cycle
 
     def step(self) -> None:
         """Advance one cycle: commit, writeback, issue, rename, fetch."""
         self._commit()
-        self._writeback()
+        if self._wheel[self.cycle & self._wheel_mask] or self._far_events:
+            self._writeback()
         for pl in self.active_pipes:
-            self._issue(pl)
+            ready = pl.ready
+            if ready[0] or ready[1] or ready[2]:
+                self._issue(pl)
         for pl in self.active_pipes:
-            self._rename(pl)
+            if pl.buffer:
+                self._rename(pl)
         self._fetch()
         self.cycle += 1
 
     # ---------------------------------------------------------------- commit
 
     def _commit(self) -> None:
-        rob_state = self.rob_state
-        rob_entry = self.rob_entry
-        mem = self.mem
+        entries, states, _, deps, _, _, _, _, _, _ = self._rob_arrays
+        heads = self.rob_head
+        counts = self.rob_count
+        committed = self.committed
+        reg_maps = self.reg_map
+        mem_store = self.mem.retire_store
+        r = self.rob_entries
         target = self.commit_target
+        phys_free = self.phys_free
         rotor = self._commit_rotor
-        self._commit_rotor += 1
+        self._commit_rotor = rotor + 1
         for pl in self.active_pipes:
-            budget = pl.model.width
+            budget = pl.width
             threads = pl.threads
             nt = len(threads)
             for k in range(nt):
                 if budget <= 0:
                     break
                 t = threads[(rotor + k) % nt]
-                head = self.rob_head[t]
-                count = self.rob_count[t]
-                states = rob_state[t]
-                entries = rob_entry[t]
-                while budget > 0 and count > 0 and states[head] == S_DONE:
-                    e = entries[head]
-                    op = e[0]
-                    if op == OP_STORE:
-                        mem.store(e[4], t)
+                head = heads[t]
+                count = counts[t]
+                base = t * r
+                if not count or states[base + head] != S_DONE:
+                    continue
+                rmap = reg_maps[t]
+                c = committed[t]
+                while budget > 0 and count > 0 and states[base + head] == S_DONE:
+                    i = base + head
+                    e = entries[i]
+                    if e[0] == OP_STORE:
+                        mem_store(e[4], t)
                     dest = e[1]
                     if dest >= 0:
-                        self.phys_free += 1
-                        if self.reg_map[t][dest] == head:
-                            self.reg_map[t][dest] = -1
-                    states[head] = S_FREE
-                    self.rob_deps[t][head] = []
-                    head = (head + 1) % self.rob_entries
+                        phys_free += 1
+                        if rmap[dest] == head:
+                            rmap[dest] = -1
+                    states[i] = S_FREE
+                    d = deps[i]
+                    if d:
+                        d.clear()
+                    head += 1
+                    if head == r:
+                        head = 0
                     count -= 1
                     budget -= 1
-                    c = self.committed[t] + 1
-                    self.committed[t] = c
+                    c += 1
                     if c >= target:
                         self.finished = True
-                self.rob_head[t] = head
-                self.rob_count[t] = count
+                committed[t] = c
+                heads[t] = head
+                counts[t] = count
+        self.phys_free = phys_free
 
     # ------------------------------------------------------------- writeback
 
     def _writeback(self) -> None:
-        evs = self.events.pop(self.cycle, None)
-        if not evs:
-            return
+        cyc = self.cycle
+        idx = cyc & self._wheel_mask
+        evs = self._wheel[idx]
+        if evs is not None:
+            self._wheel[idx] = None
+            if self._far_events:
+                more = self._far_events.pop(cyc, None)
+                if more:
+                    evs.extend(more)
+        else:
+            if not self._far_events:
+                return
+            evs = self._far_events.pop(cyc, None)
+            if not evs:
+                return
+        epochs = self._rob_epoch
+        states = self._rob_state
+        r = self.rob_entries
         for kind, t, slot, ep in evs:
-            if self.rob_epoch[t][slot] != ep:
+            i = t * r + slot
+            if epochs[i] != ep:
                 continue
             if kind == EV_COMPLETE:
-                if self.rob_state[t][slot] != S_ISSUED:
+                if states[i] != S_ISSUED:
                     continue
                 self._complete(t, slot)
             else:  # EV_FLUSHCHK: load still outstanding past the threshold?
-                if self.rob_state[t][slot] == S_ISSUED:
+                if states[i] == S_ISSUED:
                     self._do_flush(t, slot)
 
     def _complete(self, t: int, slot: int) -> None:
-        self.rob_state[t][slot] = S_DONE
-        flags = self.rob_flags[t][slot]
+        r = self.rob_entries
+        base = t * r
+        i = base + slot
+        entries, states, pend, deps_arr, tidx_arr, _, _, seqs, epochs, \
+            flags_arr = self._rob_arrays
+        states[i] = S_DONE
+        flags = flags_arr[i]
         if flags & FL_LOADCTR:
-            self.rob_flags[t][slot] = flags & ~FL_LOADCTR
+            flags_arr[i] = flags & ~FL_LOADCTR
             self.inflight_loads[t] -= 1
             if self.flush_wait[t] and self.flush_load_slot[t] == slot:
                 self.flush_wait[t] = False
                 self.flush_load_slot[t] = -1
         # Wake dependents.
-        deps = self.rob_deps[t][slot]
+        deps = deps_arr[i]
         if deps:
-            pend = self.rob_pending[t]
-            states = self.rob_state[t]
-            epochs = self.rob_epoch[t]
-            pl = self.pipelines[self.pipe_of[t]]
+            fu_of = _FU_OF_OP
+            ready = self._pipe_by_thread[t].ready
+            woken = 0
             for d, dep_ep in deps:
-                if epochs[d] != dep_ep:
+                j = base + d
+                if epochs[j] != dep_ep:
                     continue
-                p = pend[d] - 1
-                pend[d] = p
-                if p == 0 and states[d] == S_WAITING:
-                    states[d] = S_READY
-                    fu = fu_class(self.rob_entry[t][d][0])
-                    heappush(pl.ready[fu], (self.rob_seq[t][d], t, d))
-            self.rob_deps[t][slot] = []
+                p = pend[j] - 1
+                pend[j] = p
+                if p == 0 and states[j] == S_WAITING:
+                    states[j] = S_READY
+                    heappush(ready[fu_of[entries[j][0]]], (seqs[j], t, d))
+                    woken += 1
+            if woken:
+                self._ready_count += woken
+            deps.clear()
         # Branch resolution.
-        e = self.rob_entry[t][slot]
+        e = entries[i]
         op = e[0]
         if op == OP_BRANCH or op == OP_CALL or op == OP_RETURN:
-            tidx = self.rob_traceidx[t][slot]
+            tidx = tidx_arr[i]
             taken = bool(e[5])
             if tidx >= 0:
                 target = self.traces[t].next_pc(tidx) if taken else e[6] + 4
                 self.branch_unit.resolve(t, e[6], op, taken, target)
-            if self.rob_flags[t][slot] & FL_MISPRED:
-                self.rob_flags[t][slot] &= ~FL_MISPRED
+            if flags_arr[i] & FL_MISPRED:
+                flags_arr[i] &= ~FL_MISPRED
                 self.stat_mispredicts[t] += 1
                 self._squash_after(t, slot)
                 self.wrong_path[t] = False
@@ -386,11 +714,7 @@ class Processor:
                 # correct target after the front-end refill bubble. The
                 # 2-cycle hdSMT register file deepens the pipeline, so the
                 # refill grows by one cycle per extra read/write stage.
-                self.fetch_stall_until[t] = (
-                    self.cycle
-                    + self.params.branch_redirect_penalty
-                    + 2 * self.params.extra_reg_cycles
-                )
+                self.fetch_stall_until[t] = self.cycle + self._redirect_stall
 
     def _do_flush(self, t: int, load_slot: int) -> None:
         """FLUSH policy: squash everything younger than the L2-missing
@@ -400,7 +724,7 @@ class Processor:
         self.wrong_path[t] = False
         self.flush_wait[t] = True
         self.flush_load_slot[t] = load_slot
-        self.fetch_idx[t] = self.rob_traceidx[t][load_slot] + 1
+        self.fetch_idx[t] = self._rob_traceidx[t * self.rob_entries + load_slot] + 1
         # Any wrong-path fetch stall dies with the flush.
         self.fetch_stall_until[t] = self.cycle
 
@@ -411,7 +735,7 @@ class Processor:
         roll the ROB tail back, release queue slots / rename registers /
         load counters, restore the rename map, purge the fetch buffer."""
         self.epoch[t] += 1
-        pl = self.pipelines[self.pipe_of[t]]
+        pl = self._pipe_by_thread[t]
         # Purge this thread's not-yet-renamed entries from the buffer
         # (they are all younger than anything in the ROB).
         buf = pl.buffer
@@ -424,57 +748,87 @@ class Processor:
                 self.icount[t] -= removed
                 self.stat_squashed[t] += removed
         r = self.rob_entries
+        base = t * r
         tail = self.rob_tail[t]
         # bslot is an occupied slot, so the strictly-younger range is
         # bslot+1 .. tail-1 in ring order.
         n_squash = (tail - bslot - 1) % r
-        states = self.rob_state[t]
-        entries = self.rob_entry[t]
-        flags_arr = self.rob_flags[t]
+        if not n_squash:
+            self.rob_tail[t] = tail
+            return
+        states = self._rob_state
+        entries = self._rob_entry
+        flags_arr = self._rob_flags
+        deps = self._rob_deps
+        prevprods = self._rob_prevprod
+        prevseqs = self._rob_prevseq
+        seqs = self._rob_seq
         reg_map = self.reg_map[t]
+        iq_used = pl.iq_used
+        fu_of = _FU_OF_OP
+        phys_free = self.phys_free
+        icount_drop = 0
+        ready_drop = 0
         for _ in range(n_squash):
-            tail = (tail - 1) % r
-            st = states[tail]
-            e = entries[tail]
+            tail = tail - 1 if tail else r - 1
+            i = base + tail
+            st = states[i]
+            e = entries[i]
             if st == S_WAITING or st == S_READY:
-                pl.iq_used[fu_class(e[0])] -= 1
-                self.icount[t] -= 1
+                iq_used[fu_of[e[0]]] -= 1
+                icount_drop += 1
+                if st == S_READY:
+                    ready_drop += 1
             elif st == S_ISSUED:
-                if flags_arr[tail] & FL_LOADCTR:
+                if flags_arr[i] & FL_LOADCTR:
                     self.inflight_loads[t] -= 1
             dest = e[1]
             if dest >= 0:
-                self.phys_free += 1
+                phys_free += 1
                 if reg_map[dest] == tail:
-                    prev = self.rob_prevprod[t][tail]
+                    prev = prevprods[i]
                     if (
                         prev >= 0
-                        and self.rob_seq[t][prev] == self.rob_prevseq[t][tail]
-                        and states[prev] != S_FREE
+                        and seqs[base + prev] == prevseqs[i]
+                        and states[base + prev] != S_FREE
                     ):
                         reg_map[dest] = prev
                     else:
                         reg_map[dest] = -1
-            states[tail] = S_FREE
-            flags_arr[tail] = 0
-            self.rob_deps[t][tail] = []
-            self.rob_count[t] -= 1
-            self.stat_squashed[t] += 1
+            states[i] = S_FREE
+            flags_arr[i] = 0
+            d = deps[i]
+            if d:
+                d.clear()
+        self.phys_free = phys_free
+        self.icount[t] -= icount_drop
+        if ready_drop:
+            self._ready_count -= ready_drop
+        self.rob_count[t] -= n_squash
+        self.stat_squashed[t] += n_squash
         self.rob_tail[t] = tail
 
     # ----------------------------------------------------------------- issue
 
     def _issue(self, pl: Pipeline) -> None:
-        budget = pl.model.width
+        budget = pl.width
         fu_avail = list(pl.fu_count)
         ready = pl.ready
-        rob_state = self.rob_state
-        rob_seq = self.rob_seq
-        extra = self.params.extra_reg_cycles
+        entries, states, _, _, tidx_arr, _, _, seqs, epochs, flags_arr = \
+            self._rob_arrays
+        iq_used = pl.iq_used
+        icount = self.icount
+        mem_load = self.mem.load_latency
+        r = self.rob_entries
+        extra = self._extra_reg
+        l1_lat = self._l1_lat
+        flush_thr = self._flush_thr
         cyc = self.cycle
-        events = self.events
+        wheel = self._wheel
+        mask = self._wheel_mask
+        size = mask + 1
         flushing = self.policy.flushing
-        flush_thr = self.params.memory.flush_threshold
+        issued = 0
         while budget > 0:
             # Age-ordered pick across the per-FU heaps with free units.
             best_fu = -1
@@ -486,54 +840,65 @@ class Processor:
                 # Drop stale heads (squashed/reused slots) lazily.
                 while heap:
                     s, t, slot = heap[0]
-                    if rob_state[t][slot] == S_READY and rob_seq[t][slot] == s:
+                    i = t * r + slot
+                    if states[i] == S_READY and seqs[i] == s:
                         break
                     heappop(heap)
                 if heap and (best_seq is None or heap[0][0] < best_seq):
                     best_seq = heap[0][0]
                     best_fu = fu
             if best_fu < 0:
-                return
+                break
             s, t, slot = heappop(ready[best_fu])
+            i = t * r + slot
             fu_avail[best_fu] -= 1
             budget -= 1
-            rob_state[t][slot] = S_ISSUED
-            pl.iq_used[best_fu] -= 1
-            pl.issued_total += 1
-            self.icount[t] -= 1
-            e = self.rob_entry[t][slot]
+            states[i] = S_ISSUED
+            issued += 1
+            iq_used[best_fu] -= 1
+            icount[t] -= 1
+            e = entries[i]
             op = e[0]
             if op == OP_LOAD:
-                res = self.mem.load(e[4], t)
-                lat = res.latency + extra
+                rlat = mem_load(e[4], t)
+                lat = rlat + extra
                 # The L1MCOUNT policy (a DCache-Warn variant) gates fetch
                 # on loads *likely to miss*: only loads that outlive an L1
                 # hit count toward the thread's in-flight-load priority.
-                if res.latency > self.params.memory.l1_latency:
+                if rlat > l1_lat:
                     self.inflight_loads[t] += 1
-                    self.rob_flags[t][slot] |= FL_LOADCTR
+                    flags_arr[i] |= FL_LOADCTR
                 if (
                     flushing
-                    and res.latency > flush_thr
-                    and self.rob_traceidx[t][slot] >= 0
+                    and rlat > flush_thr
+                    and tidx_arr[i] >= 0
                     and not self.flush_wait[t]
                 ):
                     when = cyc + flush_thr
-                    ev = events.get(when)
-                    item = (EV_FLUSHCHK, t, slot, self.rob_epoch[t][slot])
-                    if ev is None:
-                        events[when] = [item]
+                    item = (EV_FLUSHCHK, t, slot, epochs[i])
+                    wi = when & mask
+                    lst = wheel[wi]
+                    if lst is None:
+                        wheel[wi] = [item]
                     else:
-                        ev.append(item)
+                        lst.append(item)
             else:
                 lat = EXEC_LATENCY[op] + extra
-            when = cyc + (lat if lat > 0 else 1)
-            ev = events.get(when)
-            item = (EV_COMPLETE, t, slot, self.rob_epoch[t][slot])
-            if ev is None:
-                events[when] = [item]
-            else:
-                ev.append(item)
+            if lat <= 0:
+                lat = 1
+            item = (EV_COMPLETE, t, slot, epochs[i])
+            if lat < size:
+                wi = (cyc + lat) & mask
+                lst = wheel[wi]
+                if lst is None:
+                    wheel[wi] = [item]
+                else:
+                    lst.append(item)
+            else:  # pragma: no cover - out-of-horizon (custom params) safety
+                self._far_events.setdefault(cyc + lat, []).append(item)
+        if issued:
+            pl.issued_total += issued
+            self._ready_count -= issued
 
     # ---------------------------------------------------------------- rename
 
@@ -541,132 +906,195 @@ class Processor:
         buf = pl.buffer
         if not buf:
             return
-        budget = pl.model.width
-        tpc = pl.model.threads_per_cycle
+        # Cheap head-blocked test before the full prologue: if the oldest
+        # buffered instruction cannot rename, the in-order rename stage
+        # does nothing this cycle (identical to breaking out immediately).
+        t0, e0, _, _ = buf[0]
+        fu0 = _FU_OF_OP[e0[0]]
+        if (
+            pl.iq_used[fu0] >= pl.iq_cap[fu0]
+            or self.rob_count[t0] >= self.rob_entries
+            or (e0[1] >= 0 and self.phys_free <= 0)
+        ):
+            return
+        budget = pl.width
+        tpc = pl.tpc
         threads_seen: List[int] = []
         iq_used = pl.iq_used
         iq_cap = pl.iq_cap
+        ready = pl.ready
         r = self.rob_entries
+        (entries, states, pend_arr, deps, tidx_arr, prevprods, prevseqs,
+         seqs, epoch_arr, flags_arr) = self._rob_arrays
+        rob_tail = self.rob_tail
+        rob_count = self.rob_count
+        reg_maps = self.reg_map
+        epochs_t = self.epoch
+        fu_of = _FU_OF_OP
+        phys_free = self.phys_free
+        seq = self.seq
+        woken = 0
         while budget > 0 and buf:
             t, e, tidx, flags = buf[0]
             if t not in threads_seen:
                 if len(threads_seen) >= tpc:
                     break
             op = e[0]
-            fu = fu_class(op)
+            fu = fu_of[op]
             if iq_used[fu] >= iq_cap[fu]:
                 break
-            if self.rob_count[t] >= r:
+            if rob_count[t] >= r:
                 break
             dest = e[1]
-            if dest >= 0 and self.phys_free <= 0:
+            if dest >= 0 and phys_free <= 0:
                 break
             buf.popleft()
             if t not in threads_seen:
                 threads_seen.append(t)
             budget -= 1
-            slot = self.rob_tail[t]
-            self.rob_tail[t] = (slot + 1) % r
-            self.rob_count[t] += 1
-            self.rob_entry[t][slot] = e
-            self.rob_traceidx[t][slot] = tidx
-            ep = self.epoch[t]
-            self.rob_epoch[t][slot] = ep
-            self.rob_flags[t][slot] = flags
-            seq = self.seq
-            self.seq = seq + 1
-            self.rob_seq[t][slot] = seq
+            slot = rob_tail[t]
+            rob_tail[t] = slot + 1 if slot + 1 < r else 0
+            rob_count[t] += 1
+            base = t * r
+            i = base + slot
+            entries[i] = e
+            tidx_arr[i] = tidx
+            ep = epochs_t[t]
+            epoch_arr[i] = ep
+            flags_arr[i] = flags
+            seqs[i] = seq
+            myseq = seq
+            seq += 1
             # Source dependences (must read the map before the dest write).
             pending = 0
-            reg_map = self.reg_map[t]
-            states = self.rob_state[t]
-            for src in (e[2], e[3]):
-                if src >= 0:
-                    prod = reg_map[src]
-                    if prod >= 0 and states[prod] < S_DONE:
-                        pending += 1
-                        self.rob_deps[t][prod].append((slot, ep))
+            reg_map = reg_maps[t]
+            src = e[2]
+            if src >= 0:
+                prod = reg_map[src]
+                if prod >= 0 and states[base + prod] < S_DONE:
+                    pending += 1
+                    deps[base + prod].append((slot, ep))
+            src = e[3]
+            if src >= 0:
+                prod = reg_map[src]
+                if prod >= 0 and states[base + prod] < S_DONE:
+                    pending += 1
+                    deps[base + prod].append((slot, ep))
             if dest >= 0:
                 prev = reg_map[dest]
-                self.rob_prevprod[t][slot] = prev
-                self.rob_prevseq[t][slot] = self.rob_seq[t][prev] if prev >= 0 else -1
+                prevprods[i] = prev
+                prevseqs[i] = seqs[base + prev] if prev >= 0 else -1
                 reg_map[dest] = slot
-                self.phys_free -= 1
+                phys_free -= 1
             else:
-                self.rob_prevprod[t][slot] = -1
-                self.rob_prevseq[t][slot] = -1
-            self.rob_pending[t][slot] = pending
+                prevprods[i] = -1
+                prevseqs[i] = -1
+            pend_arr[i] = pending
             iq_used[fu] += 1
             if pending == 0:
-                states[slot] = S_READY
-                heappush(pl.ready[fu], (seq, t, slot))
+                states[i] = S_READY
+                heappush(ready[fu], (myseq, t, slot))
+                woken += 1
             else:
-                states[slot] = S_WAITING
+                states[i] = S_WAITING
+        self.phys_free = phys_free
+        self.seq = seq
+        if woken:
+            self._ready_count += woken
 
     # ----------------------------------------------------------------- fetch
 
     def _fetch(self) -> None:
         cyc = self.cycle
-        policy = self.policy
+        flush_wait = self.flush_wait
+        stall = self.fetch_stall_until
+        pipes = self._pipe_by_thread
         candidates = []
         for t in range(self.num_threads):
-            if self.flush_wait[t] or cyc < self.fetch_stall_until[t]:
+            if flush_wait[t] or cyc < stall[t]:
                 continue
-            if self.pipelines[self.pipe_of[t]].buffer_space() <= 0:
+            pl = pipes[t]
+            if len(pl.buffer) >= pl.buffer_cap:
                 continue
             candidates.append(t)
         if not candidates:
             return
         if len(candidates) > 1:
-            candidates.sort(key=lambda t: policy.sort_key(self, t))
-        remaining = self.params.fetch_width
+            # Candidates ascend in thread id, and list.sort is stable, so
+            # sorting on the policy key minus its trailing thread-id
+            # tiebreak reproduces the seed ordering exactly.
+            kind = self._policy_kind
+            if kind == _PK_ICOUNT:
+                candidates.sort(key=self.icount.__getitem__)
+            elif kind == _PK_L1M:
+                infl = self.inflight_loads
+                ic = self.icount
+                candidates.sort(key=lambda t: (infl[t], -pipes[t].width, ic[t]))
+            else:
+                policy = self.policy
+                candidates.sort(key=lambda t: policy.sort_key(self, t))
+        remaining = self._fetch_width
         threads_used = 0
-        max_threads = self.params.fetch_threads
+        max_threads = self._fetch_threads
+        fetch_thread = self._fetch_thread
         for t in candidates:
             if remaining <= 0 or threads_used >= max_threads:
                 break
             threads_used += 1
-            remaining -= self._fetch_thread(t, remaining)
+            remaining -= fetch_thread(t, remaining)
 
     def _fetch_thread(self, t: int, budget: int) -> int:
         """Fetch one packet for thread ``t``; returns instructions taken."""
-        pl = self.pipelines[self.pipe_of[t]]
-        space = pl.buffer_space()
+        pl = self._pipe_by_thread[t]
+        buf = pl.buffer
+        space = pl.buffer_cap - len(buf)
         limit = budget if budget < space else space
         if limit <= 0:
             return 0
         trace = self.traces[t]
+        entries = trace.entries
+        length = trace.length
+        junk = trace.junk
+        junk_len = len(junk)
         cyc = self.cycle
+        junk_idx = self.junk_idx
+        fetch_idx = self.fetch_idx
+        wp = self.wrong_path[t]
         # One I-cache/I-TLB probe per packet (head PC).
-        if self.wrong_path[t]:
-            head_pc = trace.junk_entry(self.junk_idx[t])[6]
+        if wp:
+            head_pc = junk[junk_idx[t] % junk_len][6]
         else:
-            head_pc = trace.entry(self.fetch_idx[t])[6]
-        res = self.mem.fetch(head_pc, t)
-        if res.latency > 0:
-            self.fetch_stall_until[t] = cyc + res.latency
+            head_pc = entries[fetch_idx[t] % length][6]
+        fetch_lat = self.mem.fetch_latency(head_pc, t)
+        if fetch_lat > 0:
+            self.fetch_stall_until[t] = cyc + fetch_lat
             self.stat_icache_stalls += 1
             return 0
         taken_count = 0
-        buf = pl.buffer
+        wrongpath_count = 0
+        append = buf.append
         unit = self.branch_unit
+        predict = unit.predict
         while taken_count < limit:
-            if self.wrong_path[t]:
-                e = trace.junk_entry(self.junk_idx[t])
-                self.junk_idx[t] += 1
+            if wp:
+                e = junk[junk_idx[t] % junk_len]
+                junk_idx[t] += 1
                 tidx = -1
                 flags = FL_WRONGPATH
-                self.stat_wrongpath_fetched[t] += 1
+                wrongpath_count += 1
             else:
-                tidx = self.fetch_idx[t]
-                e = trace.entry(tidx)
-                self.fetch_idx[t] = tidx + 1
+                tidx = fetch_idx[t]
+                e = entries[tidx % length]
+                fetch_idx[t] = tidx + 1
                 flags = 0
             op = e[0]
             if op == OP_BRANCH or op == OP_CALL or op == OP_RETURN:
                 actual_taken = bool(e[5])
-                actual_target = trace.next_pc(tidx) if tidx >= 0 else e[6] + 4
-                pred = unit.predict(t, e[6], op, actual_taken, actual_target)
+                if tidx >= 0:
+                    actual_target = entries[(tidx + 1) % length][6]
+                else:
+                    actual_target = e[6] + 4
+                pred = predict(t, e[6], op, actual_taken, actual_target)
                 if pred.direction_mispredict or (
                     op == OP_RETURN and pred.target_mispredict
                 ):
@@ -675,17 +1103,14 @@ class Processor:
                     flags |= FL_MISPRED
                     unit.note_direction_mispredict()
                     self.wrong_path[t] = True
-                    buf.append((t, e, tidx, flags))
-                    self.icount[t] += 1
+                    wp = True
+                    append((t, e, tidx, flags))
                     taken_count += 1
-                    self.stat_fetched[t] += 1
                     if pred.taken:
                         break  # fetch redirects (to the wrong target)
                     continue  # wrong path continues sequentially (junk)
-                buf.append((t, e, tidx, flags))
-                self.icount[t] += 1
+                append((t, e, tidx, flags))
                 taken_count += 1
-                self.stat_fetched[t] += 1
                 if pred.taken:
                     if not pred.target_known:
                         # Direction right but no target from BTB: short
@@ -694,10 +1119,12 @@ class Processor:
                         self.stat_btb_bubbles += 1
                     break  # taken prediction ends the packet
             else:
-                buf.append((t, e, tidx, flags))
-                self.icount[t] += 1
+                append((t, e, tidx, flags))
                 taken_count += 1
-                self.stat_fetched[t] += 1
+        self.icount[t] += taken_count
+        self.stat_fetched[t] += taken_count
+        if wrongpath_count:
+            self.stat_wrongpath_fetched[t] += wrongpath_count
         return taken_count
 
     # ------------------------------------------------------------- reporting

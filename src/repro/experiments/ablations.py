@@ -8,10 +8,16 @@ A2 — register latency: hdSMT pays a 2-cycle register file; sweep 1..3 to
 A3 — fetch-buffer size: the decoupling buffers are 32/16 entries; sweep
      them to check the decoupling claim.
 A4 — mapping policy: heuristic vs random vs round-robin vs oracle.
+
+Every ablation's variant runs are independent simulations, so each
+driver batches them through a :class:`~repro.runner.batch.BatchRunner`
+(``workers=`` or ``REPRO_WORKERS`` parallelizes; results are identical
+to the sequential path).
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -23,9 +29,10 @@ from repro.core.mapping import (
     round_robin_mapping,
 )
 from repro.core.models import PipelineModel
-from repro.core.simulation import SimResult, run_simulation
+from repro.core.simulation import SimResult
 from repro.experiments.scale import ExperimentScale, default_scale
 from repro.metrics.tables import format_table
+from repro.runner import BatchRunner, SimJob
 from repro.trace.profiling import profile_benchmark
 from repro.workloads.definitions import Workload, get_workload
 
@@ -35,6 +42,23 @@ __all__ = [
     "ablation_fetch_buffer",
     "ablation_mapping_policy",
 ]
+
+
+@contextmanager
+def _runner_for(runner: Optional[BatchRunner], workers: Optional[int]):
+    """Yield the given runner, or a temporary one closed on exit.
+
+    ``workers=None`` defers to the BatchRunner default (``REPRO_WORKERS``,
+    then the cpu count), matching the module docstring's promise.
+    """
+    if runner is not None:
+        yield runner
+        return
+    own = BatchRunner(workers=workers)
+    try:
+        yield own
+    finally:
+        own.close()
 
 
 def _heur_map(config: MicroarchConfig, benchmarks: Sequence[str]) -> Tuple[int, ...]:
@@ -49,17 +73,26 @@ def ablation_fetch_policy(
     workload_name: str = "4W6",
     policies: Sequence[str] = ("l1mcount", "icount", "flush", "roundrobin"),
     scale: Optional[ExperimentScale] = None,
+    workers: Optional[int] = None,
+    runner: Optional[BatchRunner] = None,
 ) -> Dict[str, SimResult]:
     """A1: same configuration/mapping, different fetch policies."""
     scale = scale or default_scale()
     base = get_config(config_name)
     w = get_workload(workload_name)
     mapping = _heur_map(base, w.benchmarks)
-    out: Dict[str, SimResult] = {}
-    for pol in policies:
-        cfg = replace(base, name=f"{config_name}[{pol}]", fetch_policy=pol)
-        out[pol] = run_simulation(cfg, w.benchmarks, mapping, scale.commit_target)
-    return out
+    variants = [
+        replace(base, name=f"{config_name}[{pol}]", fetch_policy=pol)
+        for pol in policies
+    ]
+    with _runner_for(runner, workers) as rn:
+        results = rn.run(
+            [
+                SimJob(cfg, w.benchmarks, mapping, scale.commit_target)
+                for cfg in variants
+            ]
+        )
+    return dict(zip(policies, results))
 
 
 def ablation_register_latency(
@@ -67,18 +100,30 @@ def ablation_register_latency(
     workload_name: str = "4W8",
     latencies: Sequence[int] = (1, 2, 3),
     scale: Optional[ExperimentScale] = None,
+    workers: Optional[int] = None,
+    runner: Optional[BatchRunner] = None,
 ) -> Dict[int, SimResult]:
     """A2: price of the multipipeline register-file tax."""
     scale = scale or default_scale()
     base = get_config(config_name)
     w = get_workload(workload_name)
     mapping = _heur_map(base, w.benchmarks)
-    out: Dict[int, SimResult] = {}
-    for lat in latencies:
-        params = replace(base.params, reg_latency=lat)
-        cfg = replace(base, name=f"{config_name}[rf={lat}]", params=params)
-        out[lat] = run_simulation(cfg, w.benchmarks, mapping, scale.commit_target)
-    return out
+    variants = [
+        replace(
+            base,
+            name=f"{config_name}[rf={lat}]",
+            params=replace(base.params, reg_latency=lat),
+        )
+        for lat in latencies
+    ]
+    with _runner_for(runner, workers) as rn:
+        results = rn.run(
+            [
+                SimJob(cfg, w.benchmarks, mapping, scale.commit_target)
+                for cfg in variants
+            ]
+        )
+    return dict(zip(latencies, results))
 
 
 def ablation_fetch_buffer(
@@ -86,13 +131,15 @@ def ablation_fetch_buffer(
     workload_name: str = "4W1",
     sizes: Sequence[int] = (4, 8, 16, 32, 64),
     scale: Optional[ExperimentScale] = None,
+    workers: Optional[int] = None,
+    runner: Optional[BatchRunner] = None,
 ) -> Dict[int, SimResult]:
     """A3: decoupling-buffer size sweep (all pipelines get `size`)."""
     scale = scale or default_scale()
     base = get_config(config_name)
     w = get_workload(workload_name)
     mapping = _heur_map(base, w.benchmarks)
-    out: Dict[int, SimResult] = {}
+    variants = []
     for size in sizes:
         pipes = tuple(
             PipelineModel(
@@ -110,15 +157,25 @@ def ablation_fetch_buffer(
             )
             for p in base.pipelines
         )
-        cfg = replace(base, name=f"{config_name}[buf={size}]", pipelines=pipes)
-        out[size] = run_simulation(cfg, w.benchmarks, mapping, scale.commit_target)
-    return out
+        variants.append(
+            replace(base, name=f"{config_name}[buf={size}]", pipelines=pipes)
+        )
+    with _runner_for(runner, workers) as rn:
+        results = rn.run(
+            [
+                SimJob(cfg, w.benchmarks, mapping, scale.commit_target)
+                for cfg in variants
+            ]
+        )
+    return dict(zip(sizes, results))
 
 
 def ablation_mapping_policy(
     config_name: str = "2M4+2M2",
     workload_name: str = "4W6",
     scale: Optional[ExperimentScale] = None,
+    workers: Optional[int] = None,
+    runner: Optional[BatchRunner] = None,
 ) -> Dict[str, SimResult]:
     """A4: heuristic vs blind policies vs the (screened) oracle."""
     scale = scale or default_scale()
@@ -135,22 +192,35 @@ def ablation_mapping_policy(
     candidates = enumerate_mappings(
         config, n, max_mappings=scale.max_mappings, must_include=[heur]
     )
-    best_map, best_ipc = heur, -1.0
-    worst_map, worst_ipc = heur, float("inf")
-    for m in candidates:
-        r = run_simulation(config, w.benchmarks, m, scale.screen_target)
-        if r.ipc > best_ipc:
-            best_map, best_ipc = m, r.ipc
-        if r.ipc < worst_ipc:
-            worst_map, worst_ipc = m, r.ipc
-    maps["oracle-best"] = best_map
-    maps["oracle-worst"] = worst_map
-    out: Dict[str, SimResult] = {}
-    runs: Dict[Tuple[int, ...], SimResult] = {}
-    for name, m in maps.items():
-        if m not in runs:
-            runs[m] = run_simulation(config, w.benchmarks, m, scale.commit_target)
-        out[name] = runs[m]
+    with _runner_for(runner, workers) as rn:
+        screens = rn.run(
+            [
+                SimJob(config_name, w.benchmarks, m, scale.screen_target)
+                for m in candidates
+            ]
+        )
+        best_map, best_ipc = heur, -1.0
+        worst_map, worst_ipc = heur, float("inf")
+        for m, r in zip(candidates, screens):
+            if r.ipc > best_ipc:
+                best_map, best_ipc = m, r.ipc
+            if r.ipc < worst_ipc:
+                worst_map, worst_ipc = m, r.ipc
+        maps["oracle-best"] = best_map
+        maps["oracle-worst"] = worst_map
+        unique_maps = list(dict.fromkeys(maps.values()))
+        full = dict(
+            zip(
+                unique_maps,
+                rn.run(
+                    [
+                        SimJob(config_name, w.benchmarks, m, scale.commit_target)
+                        for m in unique_maps
+                    ]
+                ),
+            )
+        )
+    out: Dict[str, SimResult] = {name: full[m] for name, m in maps.items()}
     # The screening window can disagree with the full window at the
     # margin; an oracle is by definition at least as good as any policy
     # it brackets, so restore the bracket over the measured full runs.

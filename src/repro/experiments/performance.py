@@ -16,6 +16,11 @@ The oracle search is two-phase for tractability: every distinct mapping
 (after symmetry dedup) is *screened* with a short window, and only the
 argmax/argmin are re-simulated at full length. Results are memoized per
 process so Fig. 4, Fig. 5 and the headline summary share one sweep.
+
+The screens of one (configuration, workload) pair are independent, so
+they execute through a :class:`~repro.runner.batch.BatchRunner` — pass
+``workers=`` (or set ``REPRO_WORKERS``) to fan them out over processes;
+results are bit-identical to the sequential path regardless.
 """
 
 from __future__ import annotations
@@ -26,10 +31,11 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.area.model import config_area
 from repro.core.config import STANDARD_CONFIG_NAMES, get_config
 from repro.core.mapping import enumerate_mappings, heuristic_mapping
-from repro.core.simulation import SimResult, run_simulation
+from repro.core.simulation import SimResult
 from repro.experiments.scale import ExperimentScale, default_scale
 from repro.metrics.stats import harmonic_mean
 from repro.metrics.tables import format_grouped_bars
+from repro.runner import BatchRunner, SimJob
 from repro.trace.profiling import profile_benchmark
 from repro.workloads.definitions import WORKLOADS, Workload, get_workload
 
@@ -90,8 +96,14 @@ def evaluate_config_workload(
     config_name: str,
     workload: Workload | str,
     scale: Optional[ExperimentScale] = None,
+    runner: Optional[BatchRunner] = None,
 ) -> WorkloadResult:
-    """Produce the BEST/HEUR/WORST triple for one configuration/workload."""
+    """Produce the BEST/HEUR/WORST triple for one configuration/workload.
+
+    ``runner`` executes the oracle screens (and the full-length runs) —
+    in parallel when it has multiple workers; a sequential runner is
+    created when omitted. Results are identical either way.
+    """
     if isinstance(workload, str):
         workload = get_workload(workload)
     scale = scale or default_scale()
@@ -99,6 +111,8 @@ def evaluate_config_workload(
     cached = _CACHE.get(key)
     if cached is not None:
         return cached
+    if runner is None:
+        runner = BatchRunner(workers=1)
 
     config = get_config(config_name)
     benchmarks = workload.benchmarks
@@ -106,7 +120,9 @@ def evaluate_config_workload(
 
     if config.is_monolithic:
         mapping = (0,) * n
-        res = run_simulation(config, benchmarks, mapping, scale.commit_target)
+        res = runner.run_one(
+            SimJob(config_name, benchmarks, mapping, scale.commit_target)
+        )
         out = WorkloadResult(config_name, workload.name, res, res, res, 1)
         _CACHE[key] = out
         return out
@@ -119,33 +135,40 @@ def evaluate_config_workload(
         must_include=[heur_map],
     )
     if len(candidates) <= 1:
-        res = run_simulation(config, benchmarks, heur_map, scale.commit_target)
+        res = runner.run_one(
+            SimJob(config_name, benchmarks, heur_map, scale.commit_target)
+        )
         out = WorkloadResult(config_name, workload.name, res, res, res, 1)
         _CACHE[key] = out
         return out
 
-    # Phase 1: short screens rank the mappings.
-    screened: List[Tuple[float, Tuple[int, ...]]] = []
-    for m in candidates:
-        r = run_simulation(config, benchmarks, m, scale.screen_target)
-        screened.append((r.ipc, m))
+    # Phase 1: short screens rank the mappings (one batch, fanned out).
+    screen_results = runner.run(
+        [
+            SimJob(config_name, benchmarks, m, scale.screen_target)
+            for m in candidates
+        ]
+    )
+    screened: List[Tuple[float, Tuple[int, ...]]] = [
+        (r.ipc, m) for r, m in zip(screen_results, candidates)
+    ]
     best_map = max(screened)[1]
     worst_map = min(screened)[1]
 
     # Phase 2: full-length runs of the heuristic and the two extremes
     # (re-using runs when mappings coincide).
-    full: Dict[Tuple[int, ...], SimResult] = {}
+    unique_maps = list(dict.fromkeys([heur_map, best_map, worst_map]))
+    full_results = runner.run(
+        [
+            SimJob(config_name, benchmarks, m, scale.commit_target)
+            for m in unique_maps
+        ]
+    )
+    full: Dict[Tuple[int, ...], SimResult] = dict(zip(unique_maps, full_results))
 
-    def full_run(m: Tuple[int, ...]) -> SimResult:
-        r = full.get(m)
-        if r is None:
-            r = run_simulation(config, benchmarks, m, scale.commit_target)
-            full[m] = r
-        return r
-
-    heur_res = full_run(heur_map)
-    best_res = full_run(best_map)
-    worst_res = full_run(worst_map)
+    heur_res = full[heur_map]
+    best_res = full[best_map]
+    worst_res = full[worst_map]
     # The full-length runs may disagree with the screening order at the
     # margin; restore the BEST >= HEUR >= WORST invariant over the runs
     # actually measured (the oracle, by definition, can pick any of them).
@@ -164,24 +187,38 @@ def run_performance_experiment(
     workload_names: Optional[Sequence[str]] = None,
     scale: Optional[ExperimentScale] = None,
     progress: bool = False,
+    workers: Optional[int] = None,
+    runner: Optional[BatchRunner] = None,
 ) -> Dict[str, Dict[str, WorkloadResult]]:
-    """The full sweep behind Figs. 4 and 5: results[config][workload]."""
+    """The full sweep behind Figs. 4 and 5: results[config][workload].
+
+    ``workers`` (or an explicit ``runner``) parallelizes the oracle
+    screening within each (configuration, workload) pair; the produced
+    tables are identical to a sequential sweep.
+    """
     scale = scale or default_scale()
     if workload_names is None:
         workload_names = list(WORKLOADS)
-    results: Dict[str, Dict[str, WorkloadResult]] = {}
-    for cn in config_names:
-        config = get_config(cn)
-        per: Dict[str, WorkloadResult] = {}
-        for wn in workload_names:
-            w = get_workload(wn)
-            if w.num_threads > config.contexts_for(w.num_threads):
-                continue  # workload does not fit this configuration
-            if progress:  # pragma: no cover - console feedback only
-                print(f"  [{cn}] {wn} ...", flush=True)
-            per[wn] = evaluate_config_workload(cn, w, scale)
-        results[cn] = per
-    return results
+    created = runner is None
+    if created:
+        runner = BatchRunner(workers=workers)
+    try:
+        results: Dict[str, Dict[str, WorkloadResult]] = {}
+        for cn in config_names:
+            config = get_config(cn)
+            per: Dict[str, WorkloadResult] = {}
+            for wn in workload_names:
+                w = get_workload(wn)
+                if w.num_threads > config.contexts_for(w.num_threads):
+                    continue  # workload does not fit this configuration
+                if progress:  # pragma: no cover - console feedback only
+                    print(f"  [{cn}] {wn} ...", flush=True)
+                per[wn] = evaluate_config_workload(cn, w, scale, runner=runner)
+            results[cn] = per
+        return results
+    finally:
+        if created:
+            runner.close()
 
 
 # ---------------------------------------------------------------- summaries

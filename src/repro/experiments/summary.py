@@ -68,10 +68,15 @@ def headline_summary(
     results: Optional[Mapping[str, Mapping[str, WorkloadResult]]] = None,
     scale: Optional[ExperimentScale] = None,
     config_names: Optional[Sequence[str]] = None,
+    workers: Optional[int] = None,
 ) -> HeadlineSummary:
-    """Compute the §5 headline numbers (running the sweep if needed)."""
+    """Compute the §5 headline numbers (running the sweep if needed).
+
+    ``workers`` is forwarded to :func:`run_performance_experiment`'s
+    :class:`~repro.runner.batch.BatchRunner` when the sweep must run.
+    """
     if results is None:
-        results = run_performance_experiment(scale=scale)
+        results = run_performance_experiment(scale=scale, workers=workers)
     common = _common_workloads(results)
     if not common:
         raise ValueError("no common workloads across configurations")

@@ -20,7 +20,7 @@ from typing import List
 __all__ = ["SetAssociativeCache", "CacheStats"]
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Aggregate counters for one cache instance."""
 
@@ -68,6 +68,7 @@ class SetAssociativeCache:
         "num_sets",
         "_line_shift",
         "_set_mask",
+        "_tag_shift",
         "_bank_mask",
         "_tags",
         "stats",
@@ -99,6 +100,7 @@ class SetAssociativeCache:
         self.num_sets = num_sets
         self._line_shift = line_bytes.bit_length() - 1
         self._set_mask = num_sets - 1
+        self._tag_shift = num_sets.bit_length() - 1
         self._bank_mask = banks - 1
         # _tags[set] is a recency-ordered list of tags (index 0 = MRU).
         self._tags: List[List[int]] = [[] for _ in range(num_sets)]
@@ -118,36 +120,61 @@ class SetAssociativeCache:
     def access(self, addr: int, thread: int = 0) -> bool:
         """Probe + fill: returns True on hit, False on miss (line filled)."""
         line = (addr >> self._line_shift) ^ (thread * self._THREAD_SALT)
-        s = line & self._set_mask
-        tag = line >> (self.num_sets.bit_length() - 1)
-        tags = self._tags[s]
+        tags = self._tags[line & self._set_mask]
+        tag = line >> self._tag_shift
         st = self.stats
         st.accesses += 1
         st.per_thread_accesses[thread] += 1
-        try:
-            i = tags.index(tag)
-        except ValueError:
-            st.misses += 1
-            st.per_thread_misses[thread] += 1
-            if len(tags) >= self.ways:
-                tags.pop()
-                st.evictions += 1
+        # MRU-first: the head hit is the overwhelmingly common case.
+        if tags and tags[0] == tag:
+            return True
+        if tag in tags:
+            tags.remove(tag)
             tags.insert(0, tag)
-            return False
-        if i:
-            tags.insert(0, tags.pop(i))
-        return True
+            return True
+        st.misses += 1
+        st.per_thread_misses[thread] += 1
+        if len(tags) >= self.ways:
+            tags.pop()
+            st.evictions += 1
+        tags.insert(0, tag)
+        return False
 
     def probe(self, addr: int, thread: int = 0) -> bool:
         """Non-allocating lookup (no LRU update, no statistics)."""
         line = (addr >> self._line_shift) ^ (thread * self._THREAD_SALT)
-        s = line & self._set_mask
-        tag = line >> (self.num_sets.bit_length() - 1)
-        return tag in self._tags[s]
+        return (line >> self._tag_shift) in self._tags[line & self._set_mask]
 
     def bank_of(self, addr: int) -> int:
         """Bank servicing this address (set-interleaved)."""
         return (addr >> self._line_shift) & self._bank_mask
+
+    # -- state snapshot (warm-state caching) -----------------------------------
+
+    def dump_state(self) -> tuple:
+        """Copy of (lines, stats) for exact restore via :meth:`load_state`."""
+        st = self.stats
+        return (
+            [t[:] for t in self._tags],
+            (
+                st.accesses,
+                st.misses,
+                st.evictions,
+                st.per_thread_accesses[:],
+                st.per_thread_misses[:],
+            ),
+        )
+
+    def load_state(self, snap: tuple) -> None:
+        """Restore a :meth:`dump_state` snapshot (exact contents + stats)."""
+        lines, (acc, miss, evic, pta, ptm) = snap
+        self._tags = [t[:] for t in lines]
+        st = self.stats
+        st.accesses = acc
+        st.misses = miss
+        st.evictions = evic
+        st.per_thread_accesses = pta[:]
+        st.per_thread_misses = ptm[:]
 
     # -- maintenance -----------------------------------------------------------
 

@@ -17,6 +17,7 @@ any load outstanding longer than that is assumed to have missed in L2
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.memory.cache import SetAssociativeCache
 from repro.memory.tlb import TranslationBuffer
@@ -63,9 +64,9 @@ class MemoryParams:
         return self.l1_latency + self.l2_latency
 
 
-@dataclass(frozen=True)
-class AccessResult:
-    """Outcome of one memory access."""
+class AccessResult(NamedTuple):
+    """Outcome of one memory access (NamedTuple: cheap to build in the
+    simulator's issue/fetch hot paths, immutable like the old dataclass)."""
 
     latency: int  #: total cycles until the value is available
     l1_hit: bool
@@ -82,11 +83,26 @@ class MemoryHierarchy:
     mapping policy tries to manage) emerges naturally.
     """
 
-    __slots__ = ("params", "l1i", "l1d", "l2", "itlb", "dtlb")
+    __slots__ = (
+        "params",
+        "l1i",
+        "l1d",
+        "l2",
+        "itlb",
+        "dtlb",
+        "_l1_lat",
+        "_l1_miss_pen",
+        "_mem_lat",
+        "_tlb_pen",
+    )
 
     def __init__(self, params: MemoryParams | None = None, max_threads: int = 8) -> None:
         p = params or MemoryParams()
         self.params = p
+        self._l1_lat = p.l1_latency
+        self._l1_miss_pen = p.l1_miss_penalty
+        self._mem_lat = p.memory_latency
+        self._tlb_pen = p.tlb_miss_penalty
         self.l1i = SetAssociativeCache(
             p.l1i_size, p.l1i_ways, p.line_bytes, p.l1i_banks, max_threads, "L1I"
         )
@@ -100,6 +116,37 @@ class MemoryHierarchy:
         self.dtlb = TranslationBuffer(p.dtlb_entries, p.page_bytes, "DTLB")
 
     # -- hot paths -------------------------------------------------------------
+    #
+    # The simulator's issue/fetch/commit loops only consume the latency
+    # (or nothing, for retiring stores), so the *_latency variants below
+    # perform the identical probe sequence without building an
+    # AccessResult. The full-result methods remain the public API.
+
+    def load_latency(self, addr: int, thread: int) -> int:
+        """Latency-only :meth:`load` (identical probe sequence)."""
+        latency = self._l1_lat if self.dtlb.access(addr, thread) \
+            else self._l1_lat + self._tlb_pen
+        if not self.l1d.access(addr, thread):
+            latency += self._l1_miss_pen
+            if not self.l2.access(addr, thread):
+                latency += self._mem_lat
+        return latency
+
+    def fetch_latency(self, pc: int, thread: int) -> int:
+        """Latency-only :meth:`fetch` (identical probe sequence)."""
+        latency = 0 if self.itlb.access(pc, thread) else self._tlb_pen
+        if not self.l1i.access(pc, thread):
+            latency += self._l1_miss_pen
+            if not self.l2.access(pc, thread):
+                latency += self._mem_lat
+        return latency
+
+    def retire_store(self, addr: int, thread: int) -> None:
+        """Result-free :meth:`store` (identical probe sequence), for the
+        commit stage's store-buffer drain."""
+        self.dtlb.access(addr, thread)
+        if not self.l1d.access(addr, thread):
+            self.l2.access(addr, thread)
 
     def load(self, addr: int, thread: int) -> AccessResult:
         """Data load: DTLB + L1D + (on miss) L2. Returns total latency."""

@@ -17,7 +17,15 @@ __all__ = ["TranslationBuffer"]
 class TranslationBuffer:
     """Fully-associative, LRU, thread-tagged TLB."""
 
-    __slots__ = ("entries", "page_bytes", "_page_shift", "_map", "accesses", "misses")
+    __slots__ = (
+        "entries",
+        "page_bytes",
+        "_page_shift",
+        "_map",
+        "_last",
+        "accesses",
+        "misses",
+    )
 
     def __init__(self, entries: int, page_bytes: int = 8192, name: str = "tlb") -> None:
         if entries <= 0:
@@ -28,25 +36,45 @@ class TranslationBuffer:
         self.page_bytes = page_bytes
         self._page_shift = page_bytes.bit_length() - 1
         self._map: "OrderedDict[Tuple[int, int], bool]" = OrderedDict()
+        #: the current MRU key — repeated translations of the same page
+        #: (the common case: sequential fetch) skip the OrderedDict churn
+        self._last: "Tuple[int, int] | None" = None
         self.accesses = 0
         self.misses = 0
 
     def access(self, addr: int, thread: int = 0) -> bool:
         """Translate: True on TLB hit, False on miss (entry then filled)."""
         key = (thread, addr >> self._page_shift)
-        m = self._map
         self.accesses += 1
+        if key == self._last:  # already MRU: move_to_end would be a no-op
+            return True
+        m = self._map
         if key in m:
             m.move_to_end(key)
+            self._last = key
             return True
         self.misses += 1
         if len(m) >= self.entries:
             m.popitem(last=False)
         m[key] = True
+        self._last = key
         return False
+
+    def dump_state(self) -> tuple:
+        """Copy of (translations, MRU key, stats) for exact restore."""
+        return (OrderedDict(self._map), self._last, self.accesses, self.misses)
+
+    def load_state(self, snap: tuple) -> None:
+        """Restore a :meth:`dump_state` snapshot."""
+        m, last, accesses, misses = snap
+        self._map = OrderedDict(m)
+        self._last = last
+        self.accesses = accesses
+        self.misses = misses
 
     def invalidate_all(self) -> None:
         self._map.clear()
+        self._last = None
 
     def reset_stats(self) -> None:
         """Zero counters, keep translations (post-warm-up)."""
@@ -58,6 +86,8 @@ class TranslationBuffer:
         stale = [k for k in self._map if k[0] == thread]
         for k in stale:
             del self._map[k]
+        if self._last is not None and self._last[0] == thread:
+            self._last = None
 
     @property
     def miss_rate(self) -> float:

@@ -1,0 +1,30 @@
+"""Parallel batch execution of simulations.
+
+The paper's figures need BEST/WORST oracle sweeps — every distinct
+thread-to-pipeline mapping of every (configuration, workload) pair is
+screened with a short simulation. Those runs are embarrassingly parallel
+and perfectly deterministic, so :class:`~repro.runner.batch.BatchRunner`
+fans them out over a :class:`concurrent.futures.ProcessPoolExecutor`:
+
+* **process-local caches** — each worker process keeps the module-level
+  trace cache (:func:`repro.trace.stream.trace_for`) and warm-state cache
+  (:mod:`repro.core.processor`) warm across the jobs it executes, so a
+  workload's traces are generated and warmed once per worker rather than
+  once per job;
+* **optional on-disk result cache** — jobs are content-addressed by
+  (configuration, workload, mapping, commit target, trace length, seed)
+  and their :class:`~repro.core.simulation.SimResult` is stored as JSON,
+  so re-running an experiment sweep is free;
+* **bit-identical results** — a simulation's outcome depends only on its
+  arguments, never on scheduling, so parallel results equal sequential
+  results exactly (asserted by ``tests/runner/test_batch_runner.py``).
+
+Worker count: the ``workers`` argument, else the ``REPRO_WORKERS``
+environment variable, else ``os.cpu_count()``. ``workers=1`` (or a batch
+of fewer than two jobs) runs inline with no subprocess overhead.
+"""
+
+from repro.runner.batch import BatchRunner, SimJob
+from repro.runner.cache import ResultCache
+
+__all__ = ["BatchRunner", "SimJob", "ResultCache"]

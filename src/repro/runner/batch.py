@@ -1,0 +1,181 @@
+"""BatchRunner: fan simulation jobs out over worker processes.
+
+The experiment drivers describe each simulation as a :class:`SimJob`
+(picklable, content-hashable) and hand lists of them to
+:meth:`BatchRunner.run`, which preserves order: ``results[i]`` is the
+outcome of ``jobs[i]`` whether the batch ran inline or across processes.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.core.config import MicroarchConfig
+from repro.core.simulation import SimResult, run_simulation
+from repro.runner.cache import ResultCache
+
+__all__ = ["BatchRunner", "SimJob", "resolve_workers"]
+
+#: Fewer jobs than this run inline: process spawn + pickle overhead would
+#: exceed the win (a full-length run takes ~100 ms, a screen far less).
+_MIN_PARALLEL_JOBS = 3
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One :func:`~repro.core.simulation.run_simulation` call, as data.
+
+    ``seed`` namespaces the synthetic-trace generation (the paper's fixed
+    traces are seed 0); it participates in the cache key so alternative
+    trace draws never collide.
+    """
+
+    config: Union[str, MicroarchConfig]
+    benchmarks: Tuple[str, ...]
+    mapping: Tuple[int, ...]
+    commit_target: int
+    trace_length: Optional[int] = None
+    warmup: bool = True
+    max_cycles: Optional[int] = None
+    seed: int = 0
+
+    def execute(self) -> SimResult:
+        """Run the simulation described by this job (in this process)."""
+        return run_simulation(
+            self.config,
+            self.benchmarks,
+            self.mapping,
+            self.commit_target,
+            trace_length=self.trace_length,
+            warmup=self.warmup,
+            max_cycles=self.max_cycles,
+            seed=self.seed,
+        )
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Worker count: explicit argument > ``REPRO_WORKERS`` > cpu count."""
+    if workers is not None:
+        return max(1, workers)
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"REPRO_WORKERS must be an integer, got {env!r}"
+            ) from None
+    return os.cpu_count() or 1
+
+
+# Module-level so ProcessPoolExecutor can pickle it by reference. The
+# worker consults/populates the shared on-disk cache itself, so cache
+# hits skip the simulation entirely even inside the pool.
+_WORKER_CACHE_DIR: Optional[str] = None
+
+
+def _init_worker(cache_dir: Optional[str]) -> None:
+    global _WORKER_CACHE_DIR
+    _WORKER_CACHE_DIR = cache_dir
+
+
+def _execute_job(job: SimJob) -> SimResult:
+    if _WORKER_CACHE_DIR is not None:
+        cache = ResultCache(_WORKER_CACHE_DIR)
+        hit = cache.get(job)
+        if hit is not None:
+            return hit
+        result = job.execute()
+        cache.put(job, result)
+        return result
+    return job.execute()
+
+
+class BatchRunner:
+    """Execute batches of :class:`SimJob` with optional parallelism.
+
+    Parameters
+    ----------
+    workers:
+        Process count; defaults to ``REPRO_WORKERS`` or the cpu count.
+        ``1`` disables multiprocessing entirely (pure sequential).
+    cache_dir:
+        Directory for the on-disk result cache; defaults to the
+        ``REPRO_RESULT_CACHE`` environment variable; None disables it.
+
+    Results are independent of the worker count — simulations are pure
+    functions of their job — so callers may treat ``workers`` purely as a
+    throughput knob.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache_dir: Optional[Union[str, os.PathLike]] = None,
+    ) -> None:
+        self._pool: Optional[ProcessPoolExecutor] = None  # before any raise
+        self.workers = resolve_workers(workers)
+        if cache_dir is None:
+            cache_dir = os.environ.get("REPRO_RESULT_CACHE") or None
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.cache = ResultCache(self.cache_dir) if self.cache_dir else None
+        self.jobs_run = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    #
+    # The worker pool persists across run() calls so an experiment sweep
+    # pays process start-up once and the workers' process-local trace /
+    # warm-state caches stay hot between batches.
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "BatchRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, jobs: Sequence[SimJob]) -> List[SimResult]:
+        """Execute every job; ``results[i]`` corresponds to ``jobs[i]``."""
+        jobs = list(jobs)
+        self.jobs_run += len(jobs)
+        if self.workers <= 1 or len(jobs) < _MIN_PARALLEL_JOBS:
+            return [_run_one(job, self.cache) for job in jobs]
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(self.cache_dir,),
+            )
+        chunksize = max(1, len(jobs) // (self.workers * 4))
+        return list(self._pool.map(_execute_job, jobs, chunksize=chunksize))
+
+    def run_one(self, job: SimJob) -> SimResult:
+        """Execute a single job inline (cache-aware)."""
+        self.jobs_run += 1
+        return _run_one(job, self.cache)
+
+
+def _run_one(job: SimJob, cache: Optional[ResultCache]) -> SimResult:
+    if cache is not None:
+        hit = cache.get(job)
+        if hit is not None:
+            return hit
+        result = job.execute()
+        cache.put(job, result)
+        return result
+    return job.execute()

@@ -1,0 +1,117 @@
+"""Content-addressed on-disk cache of simulation results.
+
+A :class:`ResultCache` maps a :class:`~repro.runner.batch.SimJob` to a
+JSON file named by the SHA-256 of the job's canonical description (its
+configuration — including every microarchitectural parameter, so ablation
+variants never collide — workload, mapping, commit target, trace length
+and seed, plus an engine-version salt that invalidates stale entries when
+the simulator's semantics change). Writes are atomic (temp file + rename)
+so concurrent workers can share one cache directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from hashlib import sha256
+from pathlib import Path
+from typing import Optional
+
+from repro.core.simulation import SimResult
+
+__all__ = ["ResultCache", "ENGINE_VERSION"]
+
+#: Bump when the simulation engine's observable behaviour changes: cached
+#: results are keyed on it, so stale caches invalidate themselves.
+ENGINE_VERSION = 1
+
+
+class ResultCache:
+    """Directory-backed result store, keyed by job content hash."""
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # -- keying ------------------------------------------------------------
+
+    @staticmethod
+    def job_key(job) -> str:
+        """Stable content hash of a job's full description."""
+        # repr() of the (frozen, nested) config dataclass covers every
+        # parameter; named configs stay distinct from modified copies
+        # because replace() changes the name or a parameter in the repr.
+        config = job.config if isinstance(job.config, str) else repr(job.config)
+        desc = json.dumps(
+            {
+                "engine": ENGINE_VERSION,
+                "config": config,
+                "benchmarks": list(job.benchmarks),
+                "mapping": list(job.mapping),
+                "commit_target": job.commit_target,
+                "trace_length": job.trace_length,
+                "warmup": job.warmup,
+                "max_cycles": job.max_cycles,
+                "seed": job.seed,
+            },
+            sort_keys=True,
+        )
+        return sha256(desc.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    # -- access ------------------------------------------------------------
+
+    def get(self, job) -> Optional[SimResult]:
+        """Return the cached result for ``job`` or None."""
+        path = self._path(self.job_key(job))
+        try:
+            payload = json.loads(path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return SimResult(
+            config_name=payload["config_name"],
+            benchmarks=tuple(payload["benchmarks"]),
+            mapping=tuple(payload["mapping"]),
+            cycles=payload["cycles"],
+            committed=tuple(payload["committed"]),
+            commit_target=payload["commit_target"],
+            ipc=payload["ipc"],
+            thread_ipc=tuple(payload["thread_ipc"]),
+            stats=dict(payload["stats"]),
+        )
+
+    def put(self, job, result: SimResult) -> None:
+        """Store ``result`` under ``job``'s key (atomic write)."""
+        payload = {
+            "config_name": result.config_name,
+            "benchmarks": list(result.benchmarks),
+            "mapping": list(result.mapping),
+            "cycles": result.cycles,
+            "committed": list(result.committed),
+            "commit_target": result.commit_target,
+            "ipc": result.ipc,
+            "thread_ipc": list(result.thread_ipc),
+            "stats": result.stats,
+        }
+        path = self._path(self.job_key(job))
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))

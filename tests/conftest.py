@@ -4,9 +4,24 @@ Tests run at small, fixed scales for speed and determinism; the full
 paper-scale sweeps live in ``benchmarks/``.
 """
 
+import os
+from pathlib import Path
+
 import pytest
 
-from repro.experiments.scale import ExperimentScale
+# pyproject's `pythonpath = ["src"]` covers in-process imports but is not
+# exported to subprocesses; the integration tests spawn example scripts
+# and BatchRunner workers, so make the src layout visible to children
+# even when the suite is invoked as a bare `pytest`.
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in os.environ.get("PYTHONPATH", "").split(os.pathsep):
+    os.environ["PYTHONPATH"] = (
+        _SRC + os.pathsep + os.environ["PYTHONPATH"]
+        if os.environ.get("PYTHONPATH")
+        else _SRC
+    )
+
+from repro.experiments.scale import ExperimentScale  # noqa: E402
 
 
 @pytest.fixture

@@ -1,0 +1,153 @@
+"""BatchRunner: parallel determinism, result caching, experiment wiring."""
+
+import json
+
+import pytest
+
+from repro.core.simulation import run_simulation
+from repro.experiments.performance import (
+    clear_result_cache,
+    fig4_table,
+    fig5_table,
+    run_performance_experiment,
+)
+from repro.experiments.scale import ExperimentScale
+from repro.runner import BatchRunner, ResultCache, SimJob
+from repro.runner.batch import resolve_workers
+
+JOBS = [
+    SimJob("M8", ("gzip", "twolf"), (0, 0), 600),
+    SimJob("2M4+2M2", ("gzip", "twolf", "bzip2", "mcf"), (0, 2, 1, 3), 600),
+    SimJob("2M4+2M2", ("gzip", "twolf", "bzip2", "mcf"), (0, 1, 2, 3), 600),
+    SimJob("3M4", ("mcf", "vpr"), (0, 1), 600),
+]
+
+
+def test_simjob_execute_matches_run_simulation():
+    job = JOBS[0]
+    assert job.execute() == run_simulation(
+        job.config, job.benchmarks, job.mapping, job.commit_target
+    )
+
+
+def test_parallel_results_equal_sequential():
+    """The core determinism contract: worker count never changes results."""
+    with BatchRunner(workers=1) as seq, BatchRunner(workers=2) as par:
+        sequential = seq.run(JOBS)
+        parallel = par.run(JOBS)
+    assert parallel == sequential
+    assert [r.mapping for r in sequential] == [j.mapping for j in JOBS]
+
+
+def test_runner_preserves_job_order():
+    with BatchRunner(workers=2) as runner:
+        results = runner.run(JOBS)
+    for job, res in zip(JOBS, results):
+        assert res.mapping == job.mapping
+        assert res.benchmarks == job.benchmarks
+
+
+def test_result_cache_round_trip(tmp_path):
+    cache = ResultCache(tmp_path)
+    job = JOBS[1]
+    assert cache.get(job) is None
+    result = job.execute()
+    cache.put(job, result)
+    assert cache.get(job) == result
+    assert len(cache) == 1
+
+
+def test_result_cache_distinguishes_jobs(tmp_path):
+    cache = ResultCache(tmp_path)
+    a, b = JOBS[1], JOBS[2]  # same workload, different mapping
+    assert ResultCache.job_key(a) != ResultCache.job_key(b)
+    cache.put(a, a.execute())
+    assert cache.get(b) is None
+
+
+def test_disk_cache_hits_skip_simulation(tmp_path, monkeypatch):
+    with BatchRunner(workers=1, cache_dir=tmp_path) as runner:
+        first = runner.run(JOBS[:2])
+    assert len(list(tmp_path.glob("*.json"))) == 2
+
+    # Second runner over the same directory must serve from disk: poison
+    # run_simulation to prove no simulation happens.
+    import repro.runner.batch as batch_mod
+
+    def boom(*a, **k):  # pragma: no cover - would only run on cache miss
+        raise AssertionError("cache miss: simulation re-ran")
+
+    monkeypatch.setattr(batch_mod, "run_simulation", boom)
+    monkeypatch.setattr(SimJob, "execute", boom)
+    with BatchRunner(workers=1, cache_dir=tmp_path) as runner:
+        again = runner.run(JOBS[:2])
+    assert again == first
+
+
+def test_cache_payload_is_json(tmp_path):
+    cache = ResultCache(tmp_path)
+    job = JOBS[0]
+    cache.put(job, job.execute())
+    path = next(tmp_path.glob("*.json"))
+    payload = json.loads(path.read_text())
+    assert payload["config_name"] == "M8"
+    assert payload["cycles"] > 0
+
+
+def test_seed_namespaces_trace_draw():
+    """seed=N draws an alternative trace window: reproducible, distinct
+    from seed 0, and distinguished in the cache key."""
+    base = JOBS[0]
+    seeded = SimJob(base.config, base.benchmarks, base.mapping,
+                    base.commit_target, seed=1)
+    r0, r1, r1b = base.execute(), seeded.execute(), seeded.execute()
+    assert r1 == r1b  # deterministic per seed
+    assert r0 != r1  # different draw than the paper's fixed traces
+    from repro.runner.cache import ResultCache
+    assert ResultCache.job_key(base) != ResultCache.job_key(seeded)
+
+
+def test_resolve_workers(monkeypatch):
+    assert resolve_workers(3) == 3
+    assert resolve_workers(0) == 1
+    monkeypatch.setenv("REPRO_WORKERS", "5")
+    assert resolve_workers() == 5
+    monkeypatch.delenv("REPRO_WORKERS")
+    assert resolve_workers() >= 1
+
+
+def test_performance_experiment_identical_across_worker_counts(tiny_scale):
+    """Acceptance: run_performance_experiment through BatchRunner yields
+    identical figure tables whatever the worker count."""
+    configs = ["M8", "2M4+2M2"]
+    workloads = ["2W4", "4W6"]
+
+    clear_result_cache()
+    seq = run_performance_experiment(configs, workloads, tiny_scale, workers=1)
+    clear_result_cache()
+    par = run_performance_experiment(configs, workloads, tiny_scale, workers=2)
+
+    for cn in configs:
+        assert seq[cn].keys() == par[cn].keys()
+        for wn in seq[cn]:
+            a, b = seq[cn][wn], par[cn][wn]
+            assert (a.best, a.heur, a.worst) == (b.best, b.heur, b.worst)
+            assert a.mappings_screened == b.mappings_screened
+    for cls in ("ILP", "MEM", "MIX"):
+        assert fig4_table(seq, cls) == fig4_table(par, cls)
+        assert fig5_table(seq, cls) == fig5_table(par, cls)
+    clear_result_cache()
+
+
+def test_ablation_through_runner_matches_direct(tiny_scale):
+    """Ablation drivers batched through BatchRunner equal direct calls."""
+    from repro.experiments.ablations import ablation_register_latency
+
+    direct = ablation_register_latency(
+        workload_name="2W4", latencies=(1, 2), scale=tiny_scale, workers=1
+    )
+    parallel = ablation_register_latency(
+        workload_name="2W4", latencies=(1, 2), scale=tiny_scale, workers=2
+    )
+    assert direct == parallel
+    assert set(direct) == {1, 2}
