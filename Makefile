@@ -5,13 +5,17 @@
 #                 benchmarks/output/*.txt and BENCH_0001.json)
 #   make figures  regenerate Figs. 4/5 + the §5 summary via the CLI
 #
+#   make ci       what the GitHub Actions workflow runs: tier-1 suite +
+#                 a smoke `figures` sweep (tiny scale, 2 workers)
+#
 # Knobs: REPRO_SIM_SCALE (window scale), REPRO_WORKERS (BatchRunner
-# processes), REPRO_RESULT_CACHE (on-disk result cache directory).
+# processes), REPRO_RESULT_CACHE (on-disk result cache directory),
+# REPRO_TRACE_CACHE (packed trace / warm snapshot store directory).
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-throughput figures
+.PHONY: test bench bench-throughput figures ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -24,3 +28,7 @@ bench-throughput:
 
 figures:
 	$(PYTHON) -m repro figures
+
+ci: test
+	REPRO_SIM_SCALE=0.1 REPRO_MAX_MAPPINGS=4 $(PYTHON) -m repro figures \
+		--jobs 2 --screening --workloads 2W4 4W6 --quiet

@@ -77,6 +77,13 @@ class BranchTargetBuffer:
         targets.pop(i)
         targets.insert(0, target)
 
+    def update_many(self, thread: int, pcs, targets) -> None:
+        """Batched :meth:`update` over taken control transfers (warm-up
+        path): identical install/refresh sequence, one bound call."""
+        update = self.update
+        for pc, target in zip(pcs, targets):
+            update(thread, pc, target)
+
     def dump_state(self) -> tuple:
         """Copy of (tags, targets, stats) for exact restore."""
         return (

@@ -192,6 +192,13 @@ class PerceptronPredictor:
             (self._local_history[li] << 1) | bit
         ) & self._pred_mask_local
 
+    def update_many(self, thread: int, pcs, outcomes) -> None:
+        """Batched :meth:`update` over one thread's resolved branches
+        (warm-up path): identical training sequence, one bound call."""
+        update = self.update
+        for pc, taken in zip(pcs, outcomes):
+            update(thread, pc, taken)
+
     def dump_state(self) -> tuple:
         """Copy of (weights, histories, stats) for exact restore."""
         return (

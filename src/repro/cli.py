@@ -100,6 +100,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         scale=scale,
         progress=not args.quiet,
         workers=args.jobs,
+        screening=args.screening,
     )
     for cls in ("ILP", "MEM", "MIX"):
         print(fig4_table(results, cls))
@@ -146,6 +147,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for the mapping sweeps "
         "(default: REPRO_WORKERS or all cores)",
+    )
+    p_fig.add_argument(
+        "--screening",
+        action="store_true",
+        help="successive-halving oracle screening: prune mapping "
+        "candidates with short screens before full-window runs "
+        "(validated approximation; default is the exact screen)",
     )
     p_fig.set_defaults(func=_cmd_figures)
 

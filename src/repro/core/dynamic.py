@@ -63,6 +63,7 @@ def remap_threads(proc: Processor, new_mapping: Sequence[int]) -> int:
         proc.pipelines[new_p].threads.append(t)
         proc.pipe_of[t] = new_p
         proc._pipe_by_thread[t] = proc.pipelines[new_p]
+        proc._free_epoch += 1  # pipeline membership changed: unblock rename
         moves += 1
     if moves:
         proc.active_pipes = [pl for pl in proc.pipelines if pl.threads]

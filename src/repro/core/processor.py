@@ -42,9 +42,14 @@ no-ops), but long memory stalls cost O(1) instead of O(latency).
 
 from __future__ import annotations
 
+import os
+import pickle
 from collections import deque
+from hashlib import sha256
 from heapq import heappush, heappop
 from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ioutil import atomic_write_bytes
 
 from repro.branch.unit import BranchUnit
 from repro.core.config import MicroarchConfig
@@ -60,9 +65,21 @@ from repro.isa.opcodes import (
     fu_class,
 )
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.trace.packed import PACK_FORMAT_VERSION
 from repro.trace.stream import Trace
 
-__all__ = ["Processor", "Pipeline", "clear_warm_cache"]
+__all__ = [
+    "Processor",
+    "Pipeline",
+    "clear_warm_cache",
+    "set_warm_store",
+    "ensure_warm_snapshot",
+    "warm_snapshot_path",
+]
+
+#: Salts on-disk warm-snapshot keys; bump when warm-up semantics or the
+#: dumped structure-state shapes change (v2: int-keyed TLB maps).
+_WARM_SNAPSHOT_VERSION = 2
 
 #: Memoized post-warm structure state, keyed on (memory params, thread
 #: count, trace identities). Entries hold strong references to their
@@ -71,10 +88,128 @@ __all__ = ["Processor", "Pipeline", "clear_warm_cache"]
 _WARM_CACHE: Dict[tuple, tuple] = {}
 _WARM_CACHE_MAX = 128
 
+#: Optional on-disk warm-snapshot store (a directory), shared between
+#: BatchRunner workers: the first process to warm a (memory params,
+#: thread count, trace set) persists the snapshot, every other process
+#: restores it instead of streaming the window. Only traces built by
+#: ``trace_for`` participate — they carry a content key; hand-built
+#: traces (tests, composites) always warm in-process.
+_WARM_STORE_DIR: Optional[str] = None
+
+
+def set_warm_store(directory: Optional[str]) -> None:
+    """Activate (None: deactivate) the process-wide warm-snapshot store."""
+    global _WARM_STORE_DIR
+    _WARM_STORE_DIR = str(directory) if directory is not None else None
+
 
 def clear_warm_cache() -> None:
     """Drop memoized warm-up snapshots (tests / memory pressure)."""
     _WARM_CACHE.clear()
+
+
+def _stream_warm(mem: MemoryHierarchy, unit: BranchUnit, traces) -> None:
+    """Stream every trace's batched per-structure warm sequences into the
+    given hierarchy/branch unit (the vectorized warm pass; see
+    :meth:`Processor.warm` for the bit-identity argument)."""
+    dtlb = mem.dtlb
+    l1d = mem.l1d
+    l2 = mem.l2
+    itlb = mem.itlb
+    l1i = mem.l1i
+    predictor = unit.predictor
+    btb = unit.btb
+    for t, trace in enumerate(traces):
+        seqs = trace.warm_sequences()
+        # D-side: DTLB translation stream; L1D probes; L2 sees the L1D
+        # misses (in program order, as the per-entry loop did).
+        dtlb.access_many(seqs.mem_addrs, t)
+        d_misses = l1d.access_many(seqs.mem_addrs, t, collect_misses=True)
+        l2.access_many(d_misses, t)
+        # Front end: conditional-branch training and taken-transfer
+        # target installs.
+        predictor.update_many(t, seqs.branch_pcs, seqs.branch_taken)
+        btb.update_many(t, seqs.btb_pcs, seqs.btb_targets)
+        # I-side: every correct-path PC touches ITLB + L1I.
+        itlb.access_many(seqs.fetch_pcs, t)
+        l1i.access_many(seqs.fetch_pcs, t)
+        # Wrong-path code lives in the basic-block dictionary too; a real
+        # front end finds most of it resident (its L1I misses fill from
+        # L2, as in the seed loop).
+        itlb.access_many(seqs.junk_pcs, t)
+        junk_misses = l1i.access_many(seqs.junk_pcs, t, collect_misses=True)
+        l2.access_many(junk_misses, t)
+
+
+def _dump_warm_state(mem: MemoryHierarchy, unit: BranchUnit) -> tuple:
+    return (
+        mem.l1i.dump_state(),
+        mem.l1d.dump_state(),
+        mem.l2.dump_state(),
+        mem.itlb.dump_state(),
+        mem.dtlb.dump_state(),
+        unit.predictor.dump_state(),
+        unit.btb.dump_state(),
+    )
+
+
+def warm_snapshot_path(directory: str, memory_params, num_threads: int,
+                       trace_keys) -> str:
+    """Deterministic snapshot file for one (params, trace set) identity."""
+    desc = repr((
+        _WARM_SNAPSHOT_VERSION,
+        PACK_FORMAT_VERSION,
+        memory_params,
+        num_threads,
+        tuple(trace_keys),
+    ))
+    return os.path.join(directory, sha256(desc.encode()).hexdigest() + ".warm")
+
+
+def ensure_warm_snapshot(directory: str, memory_params, traces) -> bool:
+    """Compute and persist the warm snapshot for ``traces`` if absent.
+
+    Used by the BatchRunner parent so concurrent workers load one shared
+    snapshot instead of racing to compute identical ones. Returns False
+    when any trace lacks a content key (nothing portable to store).
+    """
+    keys = []
+    for trace in traces:
+        k = getattr(trace, "key", None)
+        if k is None:
+            return False
+        keys.append(k)
+    path = warm_snapshot_path(directory, memory_params, len(traces), keys)
+    if os.path.exists(path):
+        return True
+    mem = MemoryHierarchy(memory_params, max_threads=len(traces))
+    unit = BranchUnit(max_threads=len(traces))
+    _stream_warm(mem, unit, traces)
+    _write_warm_snapshot(path, _dump_warm_state(mem, unit))
+    return True
+
+
+def _read_warm_snapshot(path: str) -> Optional[tuple]:
+    """Load a pickled warm snapshot; any corruption degrades to None (the
+    caller recomputes and overwrites)."""
+    try:
+        with open(path, "rb") as fh:
+            snap = pickle.load(fh)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            ValueError, TypeError, IndexError):
+        return None
+    if not isinstance(snap, tuple) or len(snap) != 7:
+        return None
+    return snap
+
+
+def _write_warm_snapshot(path: str, snap: tuple) -> None:
+    """Atomically persist a warm snapshot (concurrent writers race to an
+    identical, deterministic payload — last rename wins harmlessly)."""
+    try:
+        atomic_write_bytes(path, pickle.dumps(snap, pickle.HIGHEST_PROTOCOL))
+    except OSError:  # pragma: no cover - store dir vanished
+        return
 
 # ROB slot states.
 S_FREE = 0
@@ -114,6 +249,7 @@ class Pipeline:
         "ready",
         "threads",
         "issued_total",
+        "blocked_epoch",
     )
 
     def __init__(self, index: int, model) -> None:
@@ -131,6 +267,11 @@ class Pipeline:
         self.ready: Tuple[List, List, List] = ([], [], [])
         self.threads: List[int] = []
         self.issued_total = 0
+        #: value of the core's resource-free epoch when this pipeline's
+        #: rename stage last head-blocked; while the epoch is unchanged no
+        #: blocking resource has been released, so re-running rename is a
+        #: provable no-op and the core skips the call.
+        self.blocked_epoch = -1
 
     def buffer_space(self) -> int:
         return self.buffer_cap - len(self.buffer)
@@ -238,6 +379,16 @@ class Processor:
         self._far_events: Dict[int, List[tuple]] = {}
         #: count of instructions currently in state S_READY (for idle skip)
         self._ready_count = 0
+        #: per-thread "ROB head is DONE" flags + their count: ~60% of
+        #: cycles have nothing to commit, so the commit stage is gated on
+        #: ``_commitable`` (a gated commit is provably a no-op: it would
+        #: only advance the fairness rotor, which the gate does directly).
+        self._head_done = [False] * n
+        self._commitable = 0
+        #: bumped whenever a rename-blocking resource frees (IQ/FQ/LQ slot,
+        #: ROB slot, rename register, buffer purge); pipelines record it at
+        #: head-block time so provably-still-blocked rename calls skip.
+        self._free_epoch = 0
 
         # --- per-thread front-end state ----------------------------------
         self.fetch_idx = [0] * n
@@ -261,7 +412,9 @@ class Processor:
         self._rob_entry: List[Optional[tuple]] = [None] * nr
         self._rob_state = [S_FREE] * nr
         self._rob_pending = [0] * nr
-        self._rob_deps: List[List[Tuple[int, int]]] = [[] for _ in range(nr)]
+        #: per-slot dependent lists, allocated lazily on the first edge
+        #: (most slots in short screening runs never grow a dependent)
+        self._rob_deps: List[Optional[List[Tuple[int, int]]]] = [None] * nr
         self._rob_traceidx = [-1] * nr
         self._rob_prevprod = [-1] * nr
         self._rob_prevseq = [-1] * nr
@@ -383,16 +536,29 @@ class Processor:
         and an untrained perceptron. Statistics accumulated here are reset
         by the caller via fresh counters (see ``run_simulation``).
 
+        The warm pass is *vectorized*: instead of dispatching on every
+        trace entry, each structure consumes its precomputed access
+        sequence (:meth:`Trace.warm_sequences`, derived from the packed
+        columns) in one batched call. The modeled structures are mutually
+        independent and every structure sees exactly the per-entry loop's
+        access subsequence in the same order, so the post-warm state is
+        bit-identical to the seed implementation — the golden-equivalence
+        suite pins this.
+
         Warming is deterministic in (traces, memory params, thread count)
         when the processor is fresh, so the post-warm structure state is
         memoized process-wide: the oracle mapping sweeps re-simulate the
         same workload dozens of times and every run after the first
         restores the snapshot (bit-identical, including warm-time
-        statistics) instead of streaming the window again.
+        statistics) instead of streaming the window again. With a warm
+        store active (:func:`set_warm_store`), snapshots are additionally
+        shared across processes through the store directory.
         """
         mem = self.mem
         unit = self.branch_unit
         fresh = not self._warmed and self.cycle == 0 and self.seq == 0
+        key = None
+        disk_path = None
         if fresh:
             key = (
                 self.params.memory,
@@ -403,60 +569,56 @@ class Processor:
             if cached is not None and all(
                 a is b for a, b in zip(cached[0], self.traces)
             ):
-                _, l1i, l1d, l2, itlb, dtlb, pred, btb = cached
-                mem.l1i.load_state(l1i)
-                mem.l1d.load_state(l1d)
-                mem.l2.load_state(l2)
-                mem.itlb.load_state(itlb)
-                mem.dtlb.load_state(dtlb)
-                unit.predictor.load_state(pred)
-                unit.btb.load_state(btb)
+                self._load_warm_snapshot(cached[1:])
                 self._warmed = True
                 return
+            disk_path = self._warm_store_path()
+            if disk_path is not None:
+                snap = _read_warm_snapshot(disk_path)
+                if snap is not None:
+                    self._load_warm_snapshot(snap)
+                    self._remember_warm(key, snap)
+                    self._warmed = True
+                    return
         self._warmed = True
-        dtlb_access = mem.dtlb.access
-        l1d_access = mem.l1d.access
-        l2_access = mem.l2.access
-        itlb_access = mem.itlb.access
-        l1i_access = mem.l1i.access
-        pred_update = unit.predictor.update
-        btb_update = unit.btb.update
-        for t, trace in enumerate(self.traces):
-            entries = trace.entries
-            length = trace.length
-            for i, e in enumerate(entries):
-                op = e[0]
-                if op == OP_LOAD or op == OP_STORE:
-                    dtlb_access(e[4], t)
-                    if not l1d_access(e[4], t):
-                        l2_access(e[4], t)
-                elif op == OP_BRANCH:
-                    pred_update(t, e[6], bool(e[5]))
-                    if e[5]:
-                        btb_update(t, e[6], entries[(i + 1) % length][6])
-                elif (op == OP_CALL or op == OP_RETURN) and e[5]:
-                    btb_update(t, e[6], entries[(i + 1) % length][6])
-                itlb_access(e[6], t)
-                l1i_access(e[6], t)
-            # Wrong-path code lives in the basic-block dictionary too; a
-            # real front end finds most of it resident.
-            for e in trace.junk:
-                itlb_access(e[6], t)
-                if not l1i_access(e[6], t):
-                    l2_access(e[6], t)
+        _stream_warm(mem, unit, self.traces)
         if fresh:
-            if len(_WARM_CACHE) >= _WARM_CACHE_MAX:
-                _WARM_CACHE.pop(next(iter(_WARM_CACHE)))
-            _WARM_CACHE[key] = (
-                tuple(self.traces),
-                mem.l1i.dump_state(),
-                mem.l1d.dump_state(),
-                mem.l2.dump_state(),
-                mem.itlb.dump_state(),
-                mem.dtlb.dump_state(),
-                unit.predictor.dump_state(),
-                unit.btb.dump_state(),
-            )
+            snap = _dump_warm_state(mem, unit)
+            self._remember_warm(key, snap)
+            if disk_path is not None:
+                _write_warm_snapshot(disk_path, snap)
+
+    def _load_warm_snapshot(self, snap: tuple) -> None:
+        """Restore the 7 structure states of a warm snapshot."""
+        l1i, l1d, l2, itlb, dtlb, pred, btb = snap
+        mem = self.mem
+        mem.l1i.load_state(l1i)
+        mem.l1d.load_state(l1d)
+        mem.l2.load_state(l2)
+        mem.itlb.load_state(itlb)
+        mem.dtlb.load_state(dtlb)
+        self.branch_unit.predictor.load_state(pred)
+        self.branch_unit.btb.load_state(btb)
+
+    def _remember_warm(self, key: tuple, snap: tuple) -> None:
+        if len(_WARM_CACHE) >= _WARM_CACHE_MAX:
+            _WARM_CACHE.pop(next(iter(_WARM_CACHE)))
+        _WARM_CACHE[key] = (tuple(self.traces),) + snap
+
+    def _warm_store_path(self) -> Optional[str]:
+        """Snapshot file for this (params, traces) set, or None when the
+        store is off or any trace lacks a content key."""
+        directory = _WARM_STORE_DIR
+        if directory is None:
+            return None
+        keys = []
+        for trace in self.traces:
+            k = getattr(trace, "key", None)
+            if k is None:
+                return None
+            keys.append(k)
+        return warm_snapshot_path(directory, self.params.memory,
+                                  self.num_threads, keys)
 
     # ------------------------------------------------------------------- run
 
@@ -476,14 +638,10 @@ class Processor:
         mask = self._wheel_mask
         size = mask + 1
         far = self._far_events
-        rob_state = self._rob_state
-        rob_head = self.rob_head
-        rob_count = self.rob_count
         flush_wait = self.flush_wait
         stall = self.fetch_stall_until
         active = self.active_pipes
         n = self.num_threads
-        r = self.rob_entries
         commit = self._commit
         writeback = self._writeback
         issue = self._issue
@@ -502,14 +660,12 @@ class Processor:
             # cycles are bit-identical to stepping through them.
             if (
                 self._ready_count == 0
+                and self._commitable == 0
                 and not wheel[cyc & mask]
                 and (not far or cyc not in far)
             ):
                 idle = True
                 for t in range(n):
-                    if rob_count[t] and rob_state[t * r + rob_head[t]] == S_DONE:
-                        idle = False
-                        break
                     if not flush_wait[t] and cyc >= stall[t]:
                         idle = False
                         break
@@ -542,15 +698,21 @@ class Processor:
                     self.cycle = wake
                     continue
             # --- one cycle (same stage order as step()) -----------------
-            commit()
+            if self._commitable:
+                commit()
+            else:
+                # A commit with no DONE head only advances the fairness
+                # rotor; do that directly.
+                self._commit_rotor += 1
             if wheel[cyc & mask] or far:
                 writeback()
             for pl in active:
                 ready = pl.ready
                 if ready[0] or ready[1] or ready[2]:
                     issue(pl)
+            free_epoch = self._free_epoch
             for pl in active:
-                if pl.buffer:
+                if pl.buffer and pl.blocked_epoch != free_epoch:
                     rename(pl)
             fetch()
             self.cycle = cyc + 1
@@ -558,15 +720,19 @@ class Processor:
 
     def step(self) -> None:
         """Advance one cycle: commit, writeback, issue, rename, fetch."""
-        self._commit()
+        if self._commitable:
+            self._commit()
+        else:
+            self._commit_rotor += 1
         if self._wheel[self.cycle & self._wheel_mask] or self._far_events:
             self._writeback()
         for pl in self.active_pipes:
             ready = pl.ready
             if ready[0] or ready[1] or ready[2]:
                 self._issue(pl)
+        free_epoch = self._free_epoch
         for pl in self.active_pipes:
-            if pl.buffer:
+            if pl.buffer and pl.blocked_epoch != free_epoch:
                 self._rename(pl)
         self._fetch()
         self.cycle += 1
@@ -585,6 +751,7 @@ class Processor:
         phys_free = self.phys_free
         rotor = self._commit_rotor
         self._commit_rotor = rotor + 1
+        head_done = self._head_done
         for pl in self.active_pipes:
             budget = pl.width
             threads = pl.threads
@@ -625,7 +792,16 @@ class Processor:
                 committed[t] = c
                 heads[t] = head
                 counts[t] = count
+                # Keep the commit gate exact: the head either still holds
+                # a DONE instruction (budget ran out mid-stream) or the
+                # thread leaves the commitable set.
+                if not (count and states[base + head] == S_DONE):
+                    head_done[t] = False
+                    self._commitable -= 1
         self.phys_free = phys_free
+        # ROB slots / rename registers were released (the gate guarantees
+        # at least one pop happened): blocked rename stages may proceed.
+        self._free_epoch += 1
 
     # ------------------------------------------------------------- writeback
 
@@ -667,6 +843,9 @@ class Processor:
         entries, states, pend, deps_arr, tidx_arr, _, _, seqs, epochs, \
             flags_arr = self._rob_arrays
         states[i] = S_DONE
+        if slot == self.rob_head[t] and not self._head_done[t]:
+            self._head_done[t] = True
+            self._commitable += 1
         flags = flags_arr[i]
         if flags & FL_LOADCTR:
             flags_arr[i] = flags & ~FL_LOADCTR
@@ -735,6 +914,7 @@ class Processor:
         roll the ROB tail back, release queue slots / rename registers /
         load counters, restore the rename map, purge the fetch buffer."""
         self.epoch[t] += 1
+        self._free_epoch += 1  # buffer/queue/register release: unblock rename
         pl = self._pipe_by_thread[t]
         # Purge this thread's not-yet-renamed entries from the buffer
         # (they are all younger than anything in the ROB).
@@ -899,6 +1079,7 @@ class Processor:
         if issued:
             pl.issued_total += issued
             self._ready_count -= issued
+            self._free_epoch += 1  # queue slots freed: unblock rename
 
     # ---------------------------------------------------------------- rename
 
@@ -916,6 +1097,9 @@ class Processor:
             or self.rob_count[t0] >= self.rob_entries
             or (e0[1] >= 0 and self.phys_free <= 0)
         ):
+            # Until a blocking resource frees (the free-epoch advances),
+            # re-running rename is a provable no-op — skip those calls.
+            pl.blocked_epoch = self._free_epoch
             return
         budget = pl.width
         tpc = pl.tpc
@@ -973,13 +1157,21 @@ class Processor:
                 prod = reg_map[src]
                 if prod >= 0 and states[base + prod] < S_DONE:
                     pending += 1
-                    deps[base + prod].append((slot, ep))
+                    dl = deps[base + prod]
+                    if dl is None:
+                        deps[base + prod] = [(slot, ep)]
+                    else:
+                        dl.append((slot, ep))
             src = e[3]
             if src >= 0:
                 prod = reg_map[src]
                 if prod >= 0 and states[base + prod] < S_DONE:
                     pending += 1
-                    deps[base + prod].append((slot, ep))
+                    dl = deps[base + prod]
+                    if dl is None:
+                        deps[base + prod] = [(slot, ep)]
+                    else:
+                        dl.append((slot, ep))
             if dest >= 0:
                 prev = reg_map[dest]
                 prevprods[i] = prev

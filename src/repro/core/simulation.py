@@ -15,12 +15,54 @@ from repro.core.config import MicroarchConfig, get_config
 from repro.core.processor import Processor
 from repro.trace.stream import Trace, trace_for
 
-__all__ = ["SimResult", "run_simulation", "run_workload", "default_trace_length"]
+__all__ = [
+    "SimResult",
+    "run_simulation",
+    "run_workload",
+    "default_trace_length",
+    "resolve_traces",
+    "resolve_trace_triples",
+    "collect_result",
+]
 
 
 def default_trace_length(commit_target: int) -> int:
     """Trace window sized to the commit target (wrapping covers overrun)."""
     return max(4096, commit_target)
+
+
+def resolve_trace_triples(
+    benchmarks: Sequence[str], trace_length: int, seed: int = 0
+) -> List[Tuple[str, int, int]]:
+    """The ``(benchmark, length, instance)`` identities a workload
+    streams, in thread order — the single source of truth for the
+    instance namespace (repeated benchmarks get distinct instances; the
+    seed shifts the whole workload into a disjoint namespace). Shared by
+    :func:`resolve_traces` and the runner jobs' pre-pack bookkeeping so
+    the parent packs exactly the traces workers will look up.
+    """
+    seen: Dict[str, int] = {}
+    triples: List[Tuple[str, int, int]] = []
+    for name in benchmarks:
+        inst = seen.get(name, 0)
+        seen[name] = inst + 1
+        triples.append((name, trace_length, inst + (seed << 16)))
+    return triples
+
+
+def resolve_traces(
+    benchmarks: Sequence[str], trace_length: int, seed: int = 0
+) -> List[Trace]:
+    """The trace set a workload streams, in thread order (see
+    :func:`resolve_trace_triples`). Shared by :func:`run_simulation` and
+    the screening jobs so every consumer of a workload sees exactly the
+    same streams."""
+    return [
+        trace_for(name, length, instance=inst)
+        for name, length, inst in resolve_trace_triples(
+            benchmarks, trace_length, seed
+        )
+    ]
 
 
 @dataclass(frozen=True)
@@ -88,21 +130,25 @@ def run_simulation(
         config = get_config(config)
     if trace_length is None:
         trace_length = default_trace_length(commit_target)
-    traces: List[Trace] = []
-    seen: Dict[str, int] = {}
-    for name in benchmarks:
-        # Repeated benchmarks within one workload get distinct instances;
-        # the seed shifts the whole workload into a disjoint instance
-        # namespace (traces are keyed by instance in the trace cache).
-        inst = seen.get(name, 0)
-        seen[name] = inst + 1
-        traces.append(trace_for(name, trace_length, instance=inst + (seed << 16)))
+    traces = resolve_traces(benchmarks, trace_length, seed)
     proc = Processor(config, traces, mapping, commit_target)
     if warmup:
         proc.warm()
         proc.mem.reset_stats()
         proc.branch_unit.reset_stats()
-    cycles = proc.run(max_cycles=max_cycles)
+    proc.run(max_cycles=max_cycles)
+    return collect_result(proc, config.name, benchmarks, mapping, commit_target)
+
+
+def collect_result(
+    proc: Processor,
+    config_name: str,
+    benchmarks: Sequence[str],
+    mapping: Sequence[int],
+    commit_target: int,
+) -> SimResult:
+    """Assemble the :class:`SimResult` for a finished processor (shared by
+    :func:`run_simulation` and the screening jobs' folded full runs)."""
     n = proc.num_threads
     stats = {
         "l1d_miss_rate": proc.mem.l1d.stats.miss_rate,
@@ -119,10 +165,10 @@ def run_simulation(
         "btb_bubbles": float(proc.stat_btb_bubbles),
     }
     return SimResult(
-        config_name=config.name,
+        config_name=config_name,
         benchmarks=tuple(benchmarks),
         mapping=tuple(mapping),
-        cycles=cycles,
+        cycles=proc.cycle,
         committed=tuple(proc.committed),
         commit_target=commit_target,
         ipc=proc.aggregate_ipc(),

@@ -33,6 +33,7 @@ from repro.core.simulation import SimResult
 from repro.experiments.scale import ExperimentScale, default_scale
 from repro.metrics.tables import format_table
 from repro.runner import BatchRunner, SimJob
+from repro.runner.screening import ScreenJob
 from repro.trace.profiling import profile_benchmark
 from repro.workloads.definitions import Workload, get_workload
 
@@ -176,8 +177,14 @@ def ablation_mapping_policy(
     scale: Optional[ExperimentScale] = None,
     workers: Optional[int] = None,
     runner: Optional[BatchRunner] = None,
+    screening: bool = False,
 ) -> Dict[str, SimResult]:
-    """A4: heuristic vs blind policies vs the (screened) oracle."""
+    """A4: heuristic vs blind policies vs the (screened) oracle.
+
+    ``screening=True`` prunes the oracle candidates with successive
+    halving (same machinery as the performance sweep's ``--screening``);
+    the default screens every candidate at the full screen window.
+    """
     scale = scale or default_scale()
     config = get_config(config_name)
     w = get_workload(workload_name)
@@ -193,21 +200,39 @@ def ablation_mapping_policy(
         config, n, max_mappings=scale.max_mappings, must_include=[heur]
     )
     with _runner_for(runner, workers) as rn:
-        screens = rn.run(
-            [
-                SimJob(config_name, w.benchmarks, m, scale.screen_target)
-                for m in candidates
-            ]
-        )
-        best_map, best_ipc = heur, -1.0
-        worst_map, worst_ipc = heur, float("inf")
-        for m, r in zip(candidates, screens):
-            if r.ipc > best_ipc:
-                best_map, best_ipc = m, r.ipc
-            if r.ipc < worst_ipc:
-                worst_map, worst_ipc = m, r.ipc
-        maps["oracle-best"] = best_map
-        maps["oracle-worst"] = worst_map
+        if screening:
+            # Successive halving: one checkpointed ladder in one worker.
+            outcome = rn.run(
+                [
+                    ScreenJob(
+                        config_name,
+                        tuple(w.benchmarks),
+                        tuple(candidates),
+                        scale.screen_target,
+                        rounds=4,
+                    )
+                ]
+            )[0]
+            maps["oracle-best"] = outcome.best()
+            maps["oracle-worst"] = outcome.worst()
+        else:
+            # Exact screen: one SimJob per candidate, fanned out over the
+            # pool (the seed path, including its first-strict-max ties).
+            screens = rn.run(
+                [
+                    SimJob(config_name, w.benchmarks, m, scale.screen_target)
+                    for m in candidates
+                ]
+            )
+            best_map, best_ipc = heur, -1.0
+            worst_map, worst_ipc = heur, float("inf")
+            for m, r in zip(candidates, screens):
+                if r.ipc > best_ipc:
+                    best_map, best_ipc = m, r.ipc
+                if r.ipc < worst_ipc:
+                    worst_map, worst_ipc = m, r.ipc
+            maps["oracle-best"] = best_map
+            maps["oracle-worst"] = worst_map
         unique_maps = list(dict.fromkeys(maps.values()))
         full = dict(
             zip(

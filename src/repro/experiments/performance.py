@@ -17,25 +17,41 @@ The oracle search is two-phase for tractability: every distinct mapping
 argmax/argmin are re-simulated at full length. Results are memoized per
 process so Fig. 4, Fig. 5 and the headline summary share one sweep.
 
-The screens of one (configuration, workload) pair are independent, so
-they execute through a :class:`~repro.runner.batch.BatchRunner` — pass
-``workers=`` (or set ``REPRO_WORKERS``) to fan them out over processes;
+Scheduling: the sweep plans every (configuration, workload) pair first
+and executes two *cross-pair* batches — all pairs' screens, then all
+pairs' remaining full-length runs — through a
+:class:`~repro.runner.batch.BatchRunner`, so the worker pool stays
+saturated to the tail of the sweep instead of draining at every pair
+boundary. In exact mode the screen batch holds one job per candidate
+mapping; in screening mode it holds one checkpointed ladder job per pair
+(pair-level granularity — the checkpoints must live in one worker). Pass
+``workers=`` (or set ``REPRO_WORKERS``) to fan out over processes;
 results are bit-identical to the sequential path regardless.
+
+``screening=True`` swaps the exact oracle screens for successive halving
+(:class:`~repro.runner.screening.ScreenJob`): every candidate runs a
+fraction of the screen window, the middle of the ranking is pruned, and
+survivors *continue* from their checkpoints to the doubled window; the
+selected best/worst (and the heuristic) continue straight to full
+length. The mode is an approximation — tests assert it selects the same
+oracle mapping as exact mode on the reference scenario — and exact mode
+stays the default.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.area.model import config_area
 from repro.core.config import STANDARD_CONFIG_NAMES, get_config
 from repro.core.mapping import enumerate_mappings, heuristic_mapping
-from repro.core.simulation import SimResult
+from repro.core.simulation import SimResult, default_trace_length
 from repro.experiments.scale import ExperimentScale, default_scale
 from repro.metrics.stats import harmonic_mean
 from repro.metrics.tables import format_grouped_bars
 from repro.runner import BatchRunner, SimJob
+from repro.runner.screening import ScreenJob
 from repro.trace.profiling import profile_benchmark
 from repro.workloads.definitions import WORKLOADS, Workload, get_workload
 
@@ -80,7 +96,14 @@ class WorkloadResult:
         return self.mappings_screened <= 1
 
 
-_CACHE: Dict[Tuple[str, str, tuple], WorkloadResult] = {}
+_CACHE: Dict[tuple, WorkloadResult] = {}
+
+#: Successive-halving ladder for ``screening=True``: round 0 runs at
+#: ``screen_target / 2**(rounds-1)`` (clamped to _SCREEN_MIN_TARGET) and
+#: each pruning keeps the top/bottom _SCREEN_KEEP of the ranking.
+_SCREEN_ROUNDS = 4
+_SCREEN_MIN_TARGET = 150
+_SCREEN_KEEP = 0.5
 
 
 def clear_result_cache() -> None:
@@ -92,11 +115,184 @@ def _profiled_misses(benchmarks: Sequence[str]) -> List[float]:
     return [profile_benchmark(b).misses_per_kilo_instruction for b in benchmarks]
 
 
+def _cache_key(config_name: str, workload_name: str, scale: ExperimentScale,
+               screening: bool) -> tuple:
+    key = (config_name, workload_name, scale.cache_key)
+    return key + ("screening",) if screening else key
+
+
+@dataclass
+class _PairPlan:
+    """Execution state of one (configuration, workload) pair in a sweep."""
+
+    config_name: str
+    workload: Workload
+    key: tuple
+    #: the only mapping (monolithic / degenerate pairs); exclusive with screen
+    single_map: Optional[Tuple[int, ...]] = None
+    heur_map: Optional[Tuple[int, ...]] = None
+    #: exact mode: candidates screened as individual SimJobs
+    candidates: Optional[List[Tuple[int, ...]]] = None
+    #: screening mode: the pair's checkpointed halving ladder
+    screen_job: Optional[ScreenJob] = None
+    candidates_count: int = 1
+    single_result: Optional[SimResult] = None
+    best_map: Optional[Tuple[int, ...]] = None
+    worst_map: Optional[Tuple[int, ...]] = None
+    full_results: Dict[Tuple[int, ...], SimResult] = field(default_factory=dict)
+
+
+def _plan_pair(config_name: str, workload: Workload, scale: ExperimentScale,
+               screening: bool) -> _PairPlan:
+    """Classify a pair and build its screening plan (no simulation)."""
+    key = _cache_key(config_name, workload.name, scale, screening)
+    config = get_config(config_name)
+    benchmarks = workload.benchmarks
+    n = len(benchmarks)
+    if config.is_monolithic:
+        return _PairPlan(config_name, workload, key, single_map=(0,) * n)
+    heur_map = heuristic_mapping(config, _profiled_misses(benchmarks))
+    candidates = enumerate_mappings(
+        config, n, max_mappings=scale.max_mappings, must_include=[heur_map]
+    )
+    if len(candidates) <= 1:
+        return _PairPlan(config_name, workload, key, single_map=heur_map,
+                         heur_map=heur_map)
+    if not screening:
+        # Exact mode: the seed's per-candidate screens (one SimJob per
+        # mapping, fanned out across workers), batched across pairs.
+        return _PairPlan(
+            config_name, workload, key, heur_map=heur_map,
+            candidates=list(candidates), candidates_count=len(candidates),
+        )
+    # Screening mode: one checkpointed halving ladder per pair. Screens
+    # run over the full-length trace window (screens, full runs and the
+    # folded best/worst continuations share one trace set and warm
+    # snapshot per pair) and the job continues the selected best/worst
+    # checkpoints — plus the heuristic's mapping — straight to the full
+    # commit target.
+    screen_job = ScreenJob(
+        config_name,
+        tuple(benchmarks),
+        tuple(candidates),
+        scale.screen_target,
+        rounds=_SCREEN_ROUNDS,
+        keep=_SCREEN_KEEP,
+        min_target=_SCREEN_MIN_TARGET,
+        trace_length=default_trace_length(scale.commit_target),
+        full_target=scale.commit_target,
+        extra_fulls=(heur_map,),
+    )
+    return _PairPlan(
+        config_name,
+        workload,
+        key,
+        heur_map=heur_map,
+        screen_job=screen_job,
+        candidates_count=len(candidates),
+    )
+
+
+def _execute_plans(plans: Sequence[_PairPlan], scale: ExperimentScale,
+                   runner: BatchRunner, progress: bool = False) -> None:
+    """Run every plan's screens and full-length runs as cross-pair batches
+    and publish the finished :class:`WorkloadResult` objects to the memo.
+
+    Two batches total: every pair's screens (exact mode: one SimJob per
+    candidate; screening mode: one
+    :class:`~repro.runner.screening.ScreenJob` ladder per pair — with the
+    single-mapping pairs' full runs riding along), then every pair's
+    still-missing full-length BEST/HEUR/WORST runs — so the worker pool
+    never drains between pairs.
+    """
+    # --- phase 1: screens (plus single-mapping pairs' only runs) ---------
+    batch: List = []
+    owners: List[Tuple[str, _PairPlan, Optional[Tuple[int, ...]]]] = []
+    for p in plans:
+        if p.single_map is not None:
+            batch.append(SimJob(p.config_name, p.workload.benchmarks,
+                                p.single_map, scale.commit_target))
+            owners.append(("single", p, None))
+        elif p.candidates is not None:
+            for m in p.candidates:
+                batch.append(SimJob(p.config_name, p.workload.benchmarks, m,
+                                    scale.screen_target))
+                owners.append(("exact", p, m))
+        elif p.screen_job is not None:
+            batch.append(p.screen_job)
+            owners.append(("ladder", p, None))
+    if batch:
+        if progress:  # pragma: no cover - console feedback only
+            print(f"  screening phase: {len(batch)} jobs ...", flush=True)
+        results = runner.run(batch)
+        exact_scores: Dict[int, List[Tuple[float, Tuple[int, ...]]]] = {}
+        for (kind, p, m), r in zip(owners, results):
+            if kind == "single":
+                p.single_result = r
+            elif kind == "exact":
+                exact_scores.setdefault(id(p), []).append((r.ipc, m))
+            else:  # ladder
+                p.best_map = r.best()
+                p.worst_map = r.worst()
+                p.full_results.update(dict(r.full_results))
+        for p in plans:
+            screened = exact_scores.get(id(p))
+            if screened is not None:
+                p.best_map = max(screened)[1]
+                p.worst_map = min(screened)[1]
+
+    # --- phase 2: full-length runs (one batch across every pair) --------
+    # Screening-mode ladders already folded the best/worst/heuristic full
+    # runs; exact mode simulates all three (deduplicated) here.
+    batch = []
+    full_owners: List[Tuple[_PairPlan, Tuple[int, ...]]] = []
+    for p in plans:
+        if p.best_map is None:
+            continue
+        unique_maps = list(dict.fromkeys(
+            [p.heur_map, p.best_map, p.worst_map]
+        ))
+        for m in unique_maps:
+            if m in p.full_results:
+                continue
+            batch.append(SimJob(p.config_name, p.workload.benchmarks, m,
+                                scale.commit_target))
+            full_owners.append((p, m))
+    if batch:
+        if progress:  # pragma: no cover - console feedback only
+            print(f"  full-length runs: {len(batch)} ...", flush=True)
+        results = runner.run(batch)
+        for (p, m), r in zip(full_owners, results):
+            p.full_results[m] = r
+
+    # --- assembly --------------------------------------------------------
+    for p in plans:
+        if p.single_map is not None:
+            res = p.single_result
+            out = WorkloadResult(p.config_name, p.workload.name,
+                                 res, res, res, 1)
+        else:
+            heur_res = p.full_results[p.heur_map]
+            best_res = p.full_results[p.best_map]
+            worst_res = p.full_results[p.worst_map]
+            # The full-length runs may disagree with the screening order
+            # at the margin; restore the BEST >= HEUR >= WORST invariant
+            # over the runs actually measured (the oracle, by definition,
+            # can pick any of them).
+            trio = [heur_res, best_res, worst_res]
+            best_res = max(trio, key=lambda r: r.ipc)
+            worst_res = min(trio, key=lambda r: r.ipc)
+            out = WorkloadResult(p.config_name, p.workload.name, best_res,
+                                 heur_res, worst_res, p.candidates_count)
+        _CACHE[p.key] = out
+
+
 def evaluate_config_workload(
     config_name: str,
     workload: Workload | str,
     scale: Optional[ExperimentScale] = None,
     runner: Optional[BatchRunner] = None,
+    screening: bool = False,
 ) -> WorkloadResult:
     """Produce the BEST/HEUR/WORST triple for one configuration/workload.
 
@@ -107,79 +303,15 @@ def evaluate_config_workload(
     if isinstance(workload, str):
         workload = get_workload(workload)
     scale = scale or default_scale()
-    key = (config_name, workload.name, scale.cache_key)
+    key = _cache_key(config_name, workload.name, scale, screening)
     cached = _CACHE.get(key)
     if cached is not None:
         return cached
     if runner is None:
         runner = BatchRunner(workers=1)
-
-    config = get_config(config_name)
-    benchmarks = workload.benchmarks
-    n = len(benchmarks)
-
-    if config.is_monolithic:
-        mapping = (0,) * n
-        res = runner.run_one(
-            SimJob(config_name, benchmarks, mapping, scale.commit_target)
-        )
-        out = WorkloadResult(config_name, workload.name, res, res, res, 1)
-        _CACHE[key] = out
-        return out
-
-    heur_map = heuristic_mapping(config, _profiled_misses(benchmarks))
-    candidates = enumerate_mappings(
-        config,
-        n,
-        max_mappings=scale.max_mappings,
-        must_include=[heur_map],
-    )
-    if len(candidates) <= 1:
-        res = runner.run_one(
-            SimJob(config_name, benchmarks, heur_map, scale.commit_target)
-        )
-        out = WorkloadResult(config_name, workload.name, res, res, res, 1)
-        _CACHE[key] = out
-        return out
-
-    # Phase 1: short screens rank the mappings (one batch, fanned out).
-    screen_results = runner.run(
-        [
-            SimJob(config_name, benchmarks, m, scale.screen_target)
-            for m in candidates
-        ]
-    )
-    screened: List[Tuple[float, Tuple[int, ...]]] = [
-        (r.ipc, m) for r, m in zip(screen_results, candidates)
-    ]
-    best_map = max(screened)[1]
-    worst_map = min(screened)[1]
-
-    # Phase 2: full-length runs of the heuristic and the two extremes
-    # (re-using runs when mappings coincide).
-    unique_maps = list(dict.fromkeys([heur_map, best_map, worst_map]))
-    full_results = runner.run(
-        [
-            SimJob(config_name, benchmarks, m, scale.commit_target)
-            for m in unique_maps
-        ]
-    )
-    full: Dict[Tuple[int, ...], SimResult] = dict(zip(unique_maps, full_results))
-
-    heur_res = full[heur_map]
-    best_res = full[best_map]
-    worst_res = full[worst_map]
-    # The full-length runs may disagree with the screening order at the
-    # margin; restore the BEST >= HEUR >= WORST invariant over the runs
-    # actually measured (the oracle, by definition, can pick any of them).
-    trio = [heur_res, best_res, worst_res]
-    best_res = max(trio, key=lambda r: r.ipc)
-    worst_res = min(trio, key=lambda r: r.ipc)
-    out = WorkloadResult(
-        config_name, workload.name, best_res, heur_res, worst_res, len(candidates)
-    )
-    _CACHE[key] = out
-    return out
+    plan = _plan_pair(config_name, workload, scale, screening)
+    _execute_plans([plan], scale, runner)
+    return _CACHE[key]
 
 
 def run_performance_experiment(
@@ -189,12 +321,19 @@ def run_performance_experiment(
     progress: bool = False,
     workers: Optional[int] = None,
     runner: Optional[BatchRunner] = None,
+    screening: bool = False,
 ) -> Dict[str, Dict[str, WorkloadResult]]:
     """The full sweep behind Figs. 4 and 5: results[config][workload].
 
-    ``workers`` (or an explicit ``runner``) parallelizes the oracle
-    screening within each (configuration, workload) pair; the produced
-    tables are identical to a sequential sweep.
+    ``workers`` (or an explicit ``runner``) parallelizes the sweep; every
+    screening round is one batch *across* all (configuration, workload)
+    pairs, so the pool stays saturated through the sweep tail. The
+    produced tables are identical to a sequential sweep.
+
+    ``screening=True`` enables successive-halving oracle screening — a
+    validated approximation (same selections as exact mode on the
+    reference scenario, asserted by tests) that roughly halves screening
+    work; the default remains the exact screen.
     """
     scale = scale or default_scale()
     if workload_names is None:
@@ -203,18 +342,31 @@ def run_performance_experiment(
     if created:
         runner = BatchRunner(workers=workers)
     try:
-        results: Dict[str, Dict[str, WorkloadResult]] = {}
+        pairs: List[Tuple[str, Workload]] = []
         for cn in config_names:
             config = get_config(cn)
-            per: Dict[str, WorkloadResult] = {}
             for wn in workload_names:
                 w = get_workload(wn)
                 if w.num_threads > config.contexts_for(w.num_threads):
                     continue  # workload does not fit this configuration
-                if progress:  # pragma: no cover - console feedback only
-                    print(f"  [{cn}] {wn} ...", flush=True)
-                per[wn] = evaluate_config_workload(cn, w, scale, runner=runner)
-            results[cn] = per
+                pairs.append((cn, w))
+        todo = [
+            _plan_pair(cn, w, scale, screening)
+            for cn, w in pairs
+            if _cache_key(cn, w.name, scale, screening) not in _CACHE
+        ]
+        if todo:
+            if progress:  # pragma: no cover - console feedback only
+                print(f"  sweep: {len(todo)} (config, workload) pairs ...",
+                      flush=True)
+            _execute_plans(todo, scale, runner, progress=progress)
+        results: Dict[str, Dict[str, WorkloadResult]] = {
+            cn: {} for cn in config_names
+        }
+        for cn, w in pairs:
+            results[cn][w.name] = _CACHE[
+                _cache_key(cn, w.name, scale, screening)
+            ]
         return results
     finally:
         if created:

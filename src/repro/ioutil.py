@@ -1,0 +1,30 @@
+"""Small shared I/O helpers."""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+__all__ = ["atomic_write_bytes"]
+
+
+def atomic_write_bytes(path: str | os.PathLike, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` atomically (temp file + rename).
+
+    Concurrent writers race harmlessly — the last rename wins with a
+    complete payload — and a failure mid-write leaves no partial file at
+    ``path``. Used by every on-disk store (results, packed traces, warm
+    snapshots) so the write discipline stays in one place.
+    """
+    directory = os.path.dirname(os.fspath(path)) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(payload)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

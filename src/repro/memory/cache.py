@@ -15,7 +15,7 @@ structure-of-lists layout avoids allocating per-line objects.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 __all__ = ["SetAssociativeCache", "CacheStats"]
 
@@ -71,6 +71,7 @@ class SetAssociativeCache:
         "_tag_shift",
         "_bank_mask",
         "_tags",
+        "_base",
         "stats",
     )
 
@@ -102,8 +103,15 @@ class SetAssociativeCache:
         self._set_mask = num_sets - 1
         self._tag_shift = num_sets.bit_length() - 1
         self._bank_mask = banks - 1
-        # _tags[set] is a recency-ordered list of tags (index 0 = MRU).
-        self._tags: List[List[int]] = [[] for _ in range(num_sets)]
+        # _tags[set] is a recency-ordered list of tags (index 0 = MRU);
+        # sets allocate lazily on first touch (None = not yet
+        # materialized). A warm-state restore (:meth:`load_state`) is
+        # copy-on-write: `_base` holds the shared, never-mutated snapshot
+        # rows and a set copies its row the first time it is touched —
+        # screening sweeps restore thousands of caches from one snapshot
+        # and a short run touches only a fraction of the sets.
+        self._tags: List[Optional[List[int]]] = [None] * num_sets
+        self._base: Optional[List[List[int]]] = None
         self.stats = CacheStats(
             per_thread_accesses=[0] * max_threads,
             per_thread_misses=[0] * max_threads,
@@ -120,18 +128,24 @@ class SetAssociativeCache:
     def access(self, addr: int, thread: int = 0) -> bool:
         """Probe + fill: returns True on hit, False on miss (line filled)."""
         line = (addr >> self._line_shift) ^ (thread * self._THREAD_SALT)
-        tags = self._tags[line & self._set_mask]
+        idx = line & self._set_mask
+        tags = self._tags[idx]
         tag = line >> self._tag_shift
         st = self.stats
         st.accesses += 1
         st.per_thread_accesses[thread] += 1
-        # MRU-first: the head hit is the overwhelmingly common case.
-        if tags and tags[0] == tag:
-            return True
-        if tag in tags:
-            tags.remove(tag)
-            tags.insert(0, tag)
-            return True
+        if tags is None:
+            base = self._base
+            tags = list(base[idx]) if base is not None else []
+            self._tags[idx] = tags
+        if tags:
+            # MRU-first: the head hit is the overwhelmingly common case.
+            if tags[0] == tag:
+                return True
+            if tag in tags:
+                tags.remove(tag)
+                tags.insert(0, tag)
+                return True
         st.misses += 1
         st.per_thread_misses[thread] += 1
         if len(tags) >= self.ways:
@@ -140,10 +154,65 @@ class SetAssociativeCache:
         tags.insert(0, tag)
         return False
 
+    def access_many(self, addrs, thread: int = 0, collect_misses: bool = False):
+        """Batched :meth:`access` over an address sequence (warm-up path).
+
+        Performs exactly the probe/fill/LRU sequence ``access`` would per
+        address, with the loop constants hoisted and the statistics
+        accumulated once — bit-identical final state and counters. When
+        ``collect_misses`` is true, returns the missed addresses in order
+        (the warm pass feeds them to the next cache level).
+        """
+        shift = self._line_shift
+        set_mask = self._set_mask
+        tag_shift = self._tag_shift
+        salt = thread * self._THREAD_SALT
+        all_tags = self._tags
+        ways = self.ways
+        accesses = 0
+        misses: List[int] = []
+        evictions = 0
+        base = self._base
+        for addr in addrs:
+            line = (addr >> shift) ^ salt
+            idx = line & set_mask
+            tags = all_tags[idx]
+            tag = line >> tag_shift
+            accesses += 1
+            if tags is None:
+                tags = list(base[idx]) if base is not None else []
+                all_tags[idx] = tags
+            if tags:
+                if tags[0] == tag:
+                    continue
+                if tag in tags:
+                    tags.remove(tag)
+                    tags.insert(0, tag)
+                    continue
+            misses.append(addr)
+            if len(tags) >= ways:
+                tags.pop()
+                evictions += 1
+            tags.insert(0, tag)
+        st = self.stats
+        st.accesses += accesses
+        st.misses += len(misses)
+        st.evictions += evictions
+        st.per_thread_accesses[thread] += accesses
+        st.per_thread_misses[thread] += len(misses)
+        return misses if collect_misses else None
+
     def probe(self, addr: int, thread: int = 0) -> bool:
         """Non-allocating lookup (no LRU update, no statistics)."""
         line = (addr >> self._line_shift) ^ (thread * self._THREAD_SALT)
-        return (line >> self._tag_shift) in self._tags[line & self._set_mask]
+        idx = line & self._set_mask
+        tags = self._tags[idx]
+        if tags is None:
+            base = self._base
+            if base is None:
+                return False
+            tags = base[idx]
+        return (line >> self._tag_shift) in tags
 
     def bank_of(self, addr: int) -> int:
         """Bank servicing this address (set-interleaved)."""
@@ -152,10 +221,22 @@ class SetAssociativeCache:
     # -- state snapshot (warm-state caching) -----------------------------------
 
     def dump_state(self) -> tuple:
-        """Copy of (lines, stats) for exact restore via :meth:`load_state`."""
+        """Copy of (lines, stats) for exact restore via :meth:`load_state`.
+
+        Untouched (lazily unallocated) sets dump as empty lists, so the
+        snapshot shape is independent of how the contents were built.
+        """
         st = self.stats
+        base = self._base
+        if base is None:
+            lines = [t[:] if t is not None else [] for t in self._tags]
+        else:
+            lines = [
+                t[:] if t is not None else list(base[i])
+                for i, t in enumerate(self._tags)
+            ]
         return (
-            [t[:] for t in self._tags],
+            lines,
             (
                 st.accesses,
                 st.misses,
@@ -166,9 +247,16 @@ class SetAssociativeCache:
         )
 
     def load_state(self, snap: tuple) -> None:
-        """Restore a :meth:`dump_state` snapshot (exact contents + stats)."""
+        """Restore a :meth:`dump_state` snapshot (exact contents + stats).
+
+        O(1) in the number of sets: the snapshot rows are adopted as the
+        shared copy-on-write base and individual sets copy out lazily on
+        first touch. The snapshot itself is never mutated, so many caches
+        can restore from one snapshot concurrently.
+        """
         lines, (acc, miss, evic, pta, ptm) = snap
-        self._tags = [t[:] for t in lines]
+        self._tags = [None] * self.num_sets
+        self._base = lines
         st = self.stats
         st.accesses = acc
         st.misses = miss
@@ -180,12 +268,18 @@ class SetAssociativeCache:
 
     def invalidate_all(self) -> None:
         """Drop every line (used between independent simulations)."""
-        for tags in self._tags:
-            tags.clear()
+        self._tags = [None] * self.num_sets
+        self._base = None
 
     def occupancy(self) -> int:
         """Number of valid lines currently resident."""
-        return sum(len(t) for t in self._tags)
+        base = self._base
+        if base is None:
+            return sum(len(t) for t in self._tags if t is not None)
+        return sum(
+            len(t) if t is not None else len(base[i])
+            for i, t in enumerate(self._tags)
+        )
 
     def reset_stats(self) -> None:
         """Zero the counters without touching cache contents (used after a

@@ -2,14 +2,19 @@
 
 Table 1: 48-entry I-TLB, 128-entry D-TLB, 300-cycle miss penalty. Entry
 counts are not powers of two, so the TLBs are modeled fully associative
-with exact LRU (an ordered dict keyed by (thread, virtual page)); threads
+with exact LRU (an ordered dict keyed by thread + virtual page); threads
 share the structure, tagged by address-space id as real SMTs do.
+
+The LRU key packs the thread id above the page number in one int
+(``page | thread << _THREAD_SHIFT``) — translations are the second-most
+frequent simulator operation after cache probes, and an int key saves a
+tuple allocation plus a tuple hash per access while remaining a bijection
+of (thread, page), so hit/miss behaviour is bit-identical.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Tuple
 
 __all__ = ["TranslationBuffer"]
 
@@ -27,6 +32,10 @@ class TranslationBuffer:
         "misses",
     )
 
+    #: bit position of the thread id inside a packed key; pages come from
+    #: sub-2^48 addresses shifted by the page bits, so 50 clears any page.
+    _THREAD_SHIFT = 50
+
     def __init__(self, entries: int, page_bytes: int = 8192, name: str = "tlb") -> None:
         if entries <= 0:
             raise ValueError("entries must be positive")
@@ -35,16 +44,16 @@ class TranslationBuffer:
         self.entries = entries
         self.page_bytes = page_bytes
         self._page_shift = page_bytes.bit_length() - 1
-        self._map: "OrderedDict[Tuple[int, int], bool]" = OrderedDict()
+        self._map: "OrderedDict[int, bool]" = OrderedDict()
         #: the current MRU key — repeated translations of the same page
         #: (the common case: sequential fetch) skip the OrderedDict churn
-        self._last: "Tuple[int, int] | None" = None
+        self._last: "int | None" = None
         self.accesses = 0
         self.misses = 0
 
     def access(self, addr: int, thread: int = 0) -> bool:
         """Translate: True on TLB hit, False on miss (entry then filled)."""
-        key = (thread, addr >> self._page_shift)
+        key = (addr >> self._page_shift) | (thread << self._THREAD_SHIFT)
         self.accesses += 1
         if key == self._last:  # already MRU: move_to_end would be a no-op
             return True
@@ -59,6 +68,37 @@ class TranslationBuffer:
         m[key] = True
         self._last = key
         return False
+
+    def access_many(self, addrs, thread: int = 0) -> None:
+        """Batched :meth:`access` (warm-up path): same translation/LRU/fill
+        sequence per address, loop constants hoisted, counters accumulated
+        once — bit-identical final state."""
+        shift = self._page_shift
+        tbits = thread << self._THREAD_SHIFT
+        m = self._map
+        last = self._last
+        capacity = self.entries
+        move_to_end = m.move_to_end
+        popitem = m.popitem
+        accesses = 0
+        misses = 0
+        for addr in addrs:
+            key = (addr >> shift) | tbits
+            accesses += 1
+            if key == last:
+                continue
+            if key in m:
+                move_to_end(key)
+                last = key
+                continue
+            misses += 1
+            if len(m) >= capacity:
+                popitem(last=False)
+            m[key] = True
+            last = key
+        self._last = last
+        self.accesses += accesses
+        self.misses += misses
 
     def dump_state(self) -> tuple:
         """Copy of (translations, MRU key, stats) for exact restore."""
@@ -83,10 +123,11 @@ class TranslationBuffer:
 
     def invalidate_thread(self, thread: int) -> None:
         """Drop one thread's translations (context switch)."""
-        stale = [k for k in self._map if k[0] == thread]
+        shift = self._THREAD_SHIFT
+        stale = [k for k in self._map if k >> shift == thread]
         for k in stale:
             del self._map[k]
-        if self._last is not None and self._last[0] == thread:
+        if self._last is not None and self._last >> shift == thread:
             self._last = None
 
     @property

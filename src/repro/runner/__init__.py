@@ -17,7 +17,17 @@ fans them out over a :class:`concurrent.futures.ProcessPoolExecutor`:
   so re-running an experiment sweep is free;
 * **bit-identical results** — a simulation's outcome depends only on its
   arguments, never on scheduling, so parallel results equal sequential
-  results exactly (asserted by ``tests/runner/test_batch_runner.py``).
+  results exactly (asserted by ``tests/runner/test_batch_runner.py``);
+* **shared packed-trace / warm-snapshot store** — before a parallel batch
+  launches, the parent packs every trace the batch needs into a
+  content-addressed store (``REPRO_TRACE_CACHE`` or a private temp dir);
+  workers mmap the packed columns instead of regenerating traces, and the
+  first process to warm a trace set persists the structure snapshot for
+  the others;
+* **successive-halving screens** — :class:`~repro.runner.screening.
+  HalvingScreen` plans staged oracle screening (short windows eliminate
+  the middle of the candidate pack before full-window runs), the
+  ``--screening`` fast path of the experiment drivers.
 
 Worker count: the ``workers`` argument, else the ``REPRO_WORKERS``
 environment variable, else ``os.cpu_count()``. ``workers=1`` (or a batch
@@ -26,5 +36,6 @@ of fewer than two jobs) runs inline with no subprocess overhead.
 
 from repro.runner.batch import BatchRunner, SimJob
 from repro.runner.cache import ResultCache
+from repro.runner.screening import HalvingScreen
 
-__all__ = ["BatchRunner", "SimJob", "ResultCache"]
+__all__ = ["BatchRunner", "SimJob", "ResultCache", "HalvingScreen"]

@@ -4,18 +4,40 @@ The experiment drivers describe each simulation as a :class:`SimJob`
 (picklable, content-hashable) and hand lists of them to
 :meth:`BatchRunner.run`, which preserves order: ``results[i]`` is the
 outcome of ``jobs[i]`` whether the batch ran inline or across processes.
+
+Workers share two content-addressed stores through one directory:
+
+* a :class:`~repro.trace.packed.PackedTraceStore` — before a parallel
+  batch launches, the parent packs every trace the batch needs into the
+  store, so cold workers mmap the packed buffers instead of re-running
+  :class:`~repro.trace.synthetic.TraceGenerator`;
+* a warm-snapshot store (see :func:`repro.core.processor.set_warm_store`)
+  — the first process to warm a trace set persists the structure state,
+  every other process restores it.
+
+The store directory defaults to ``REPRO_TRACE_CACHE`` (persistent across
+runs) or, failing that, a private temporary directory cleaned up with the
+runner. Pass ``trace_store=False`` to disable the machinery entirely.
 """
 
 from __future__ import annotations
 
 import os
+import tempfile
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.config import MicroarchConfig
-from repro.core.simulation import SimResult, run_simulation
+from repro.core.simulation import (
+    SimResult,
+    default_trace_length,
+    resolve_trace_triples,
+    run_simulation,
+)
 from repro.runner.cache import ResultCache
+from repro.trace.packed import PackedTrace
+from repro.trace.stream import trace_for
 
 __all__ = ["BatchRunner", "SimJob", "resolve_workers"]
 
@@ -55,6 +77,17 @@ class SimJob:
             seed=self.seed,
         )
 
+    def trace_triples(self) -> List[Tuple[str, int, int]]:
+        """The ``(benchmark, length, instance)`` traces this job streams —
+        :func:`~repro.core.simulation.run_simulation`'s exact resolution,
+        so the parent can pre-pack exactly what workers will look up."""
+        length = (
+            self.trace_length
+            if self.trace_length is not None
+            else default_trace_length(self.commit_target)
+        )
+        return resolve_trace_triples(self.benchmarks, length, self.seed)
+
 
 def resolve_workers(workers: Optional[int] = None) -> int:
     """Worker count: explicit argument > ``REPRO_WORKERS`` > cpu count."""
@@ -77,9 +110,25 @@ def resolve_workers(workers: Optional[int] = None) -> int:
 _WORKER_CACHE_DIR: Optional[str] = None
 
 
-def _init_worker(cache_dir: Optional[str]) -> None:
+def _init_worker(cache_dir: Optional[str], store_dir: Optional[str]) -> None:
     global _WORKER_CACHE_DIR
     _WORKER_CACHE_DIR = cache_dir
+    # Dedicated, bounded-lifetime simulation processes: the simulator's
+    # object graph is acyclic (reference counting reclaims everything), so
+    # cyclic-GC passes only cost time. Freezing the warm interpreter state
+    # also keeps it off future (no-op) collections.
+    import gc
+
+    gc.disable()
+    gc.freeze()
+    if store_dir is not None:
+        # Read-only for traces (the parent pre-packed the batch's traces);
+        # read-write for warm snapshots (first warmer persists them).
+        from repro.core.processor import set_warm_store
+        from repro.trace.stream import set_trace_store
+
+        set_trace_store(store_dir, save_on_generate=False)
+        set_warm_store(store_dir)
 
 
 def _execute_job(job: SimJob) -> SimResult:
@@ -105,6 +154,11 @@ class BatchRunner:
     cache_dir:
         Directory for the on-disk result cache; defaults to the
         ``REPRO_RESULT_CACHE`` environment variable; None disables it.
+    trace_store:
+        Directory for the shared packed-trace / warm-snapshot store;
+        ``None`` (the default) resolves to ``REPRO_TRACE_CACHE`` or — for
+        parallel runners — a private temporary directory removed by
+        :meth:`close`; ``False`` disables the store machinery.
 
     Results are independent of the worker count — simulations are pure
     functions of their job — so callers may treat ``workers`` purely as a
@@ -115,13 +169,31 @@ class BatchRunner:
         self,
         workers: Optional[int] = None,
         cache_dir: Optional[Union[str, os.PathLike]] = None,
+        trace_store: Union[None, bool, str, os.PathLike] = None,
     ) -> None:
         self._pool: Optional[ProcessPoolExecutor] = None  # before any raise
+        self._own_store_tmp: Optional[tempfile.TemporaryDirectory] = None
         self.workers = resolve_workers(workers)
         if cache_dir is None:
             cache_dir = os.environ.get("REPRO_RESULT_CACHE") or None
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
         self.cache = ResultCache(self.cache_dir) if self.cache_dir else None
+        if trace_store is None:
+            trace_store = os.environ.get("REPRO_TRACE_CACHE") or None
+        if trace_store is False:
+            self.store_dir: Optional[str] = None
+        elif trace_store is None:
+            if self.workers > 1:
+                self._own_store_tmp = tempfile.TemporaryDirectory(
+                    prefix="repro-store-"
+                )
+                self.store_dir = self._own_store_tmp.name
+            else:
+                self.store_dir = None
+        else:
+            self.store_dir = str(trace_store)
+        #: traces already packed into the store (parent-side memo)
+        self._packed_triples: Set[Tuple[str, int, int]] = set()
         self.jobs_run = 0
 
     # -- lifecycle ---------------------------------------------------------
@@ -135,6 +207,10 @@ class BatchRunner:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._own_store_tmp is not None:
+            self._own_store_tmp.cleanup()
+            self._own_store_tmp = None
+            self.store_dir = None
 
     def __enter__(self) -> "BatchRunner":
         return self
@@ -146,23 +222,76 @@ class BatchRunner:
         if self._pool is not None:
             self._pool.shutdown(wait=False)
             self._pool = None
+        if self._own_store_tmp is not None:
+            self._own_store_tmp.cleanup()
+            self._own_store_tmp = None
 
     # -- execution ---------------------------------------------------------
 
-    def run(self, jobs: Sequence[SimJob]) -> List[SimResult]:
-        """Execute every job; ``results[i]`` corresponds to ``jobs[i]``."""
+    def run(self, jobs: Sequence) -> List:
+        """Execute every job; ``results[i]`` corresponds to ``jobs[i]``.
+
+        Accepts any mix of :class:`SimJob` and
+        :class:`~repro.runner.screening.ScreenJob` (anything with
+        ``execute()``/``trace_triples()`` and result-cache hooks).
+        """
         jobs = list(jobs)
         self.jobs_run += len(jobs)
         if self.workers <= 1 or len(jobs) < _MIN_PARALLEL_JOBS:
             return [_run_one(job, self.cache) for job in jobs]
+        self._prepack_traces(jobs)
         if self._pool is None:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers,
                 initializer=_init_worker,
-                initargs=(self.cache_dir,),
+                initargs=(self.cache_dir, self.store_dir),
             )
         chunksize = max(1, len(jobs) // (self.workers * 4))
         return list(self._pool.map(_execute_job, jobs, chunksize=chunksize))
+
+    def _prepack_traces(self, jobs: Sequence) -> None:
+        """Pack the batch's traces and warm snapshots into the shared store.
+
+        Distinct traces are generated (or taken from the parent's memo)
+        exactly once, machine-wide: workers mmap the packed buffers and
+        skip :class:`~repro.trace.synthetic.TraceGenerator` entirely. The
+        matching post-warm structure snapshots are precomputed too, so
+        concurrent workers hitting the same workload at the same moment
+        load one snapshot instead of racing to compute identical ones.
+        """
+        if self.store_dir is None:
+            return
+        from repro.core.config import get_config
+        from repro.core.processor import ensure_warm_snapshot
+        from repro.trace.packed import PackedTraceStore
+        from repro.trace.stream import _JUNK_LEN
+
+        store: Optional[PackedTraceStore] = None
+        packed_triples = self._packed_triples
+        warm_sets = {}
+        for job in jobs:
+            triples = job.trace_triples()
+            for triple in triples:
+                if triple in packed_triples:
+                    continue
+                if store is None:
+                    store = PackedTraceStore(self.store_dir)
+                name, length, instance = triple
+                if not store.contains(name, length, instance, _JUNK_LEN):
+                    trace = trace_for(name, length, instance)
+                    store.save(PackedTrace.from_trace(trace), name, length,
+                               instance)
+                packed_triples.add(triple)
+            if getattr(job, "warmup", True):
+                config = job.config
+                if isinstance(config, str):
+                    config = get_config(config)
+                warm_sets.setdefault(
+                    (config.params.memory, tuple(triples)), None
+                )
+        for memory_params, triples in warm_sets:
+            traces = [trace_for(*t) for t in triples]
+            ensure_warm_snapshot(self.store_dir, memory_params, traces)
 
     def run_one(self, job: SimJob) -> SimResult:
         """Execute a single job inline (cache-aware)."""

@@ -1,30 +1,71 @@
 """Content-addressed on-disk cache of simulation results.
 
-A :class:`ResultCache` maps a :class:`~repro.runner.batch.SimJob` to a
-JSON file named by the SHA-256 of the job's canonical description (its
-configuration — including every microarchitectural parameter, so ablation
-variants never collide — workload, mapping, commit target, trace length
-and seed, plus an engine-version salt that invalidates stale entries when
-the simulator's semantics change). Writes are atomic (temp file + rename)
-so concurrent workers can share one cache directory.
+A :class:`ResultCache` maps a :class:`~repro.runner.batch.SimJob` (or a
+:class:`~repro.runner.screening.ScreenJob`) to a JSON file named by the
+SHA-256 of the job's canonical description (its configuration — including
+every microarchitectural parameter, so ablation variants never collide —
+workload, mapping, commit target, trace length and seed, plus version
+salts that invalidate stale entries when either the simulator's semantics
+(:data:`ENGINE_VERSION`) or the packed-trace format
+(:data:`~repro.trace.packed.PACK_FORMAT_VERSION`) change). Corrupted or
+truncated entries degrade to a cache miss — the job simply recomputes and
+overwrites. Writes are atomic (temp file + rename) so concurrent workers
+can share one cache directory.
 """
 
 from __future__ import annotations
 
 import json
 import os
-import tempfile
 from hashlib import sha256
 from pathlib import Path
 from typing import Optional
 
 from repro.core.simulation import SimResult
+from repro.ioutil import atomic_write_bytes
+from repro.trace.packed import PACK_FORMAT_VERSION
 
-__all__ = ["ResultCache", "ENGINE_VERSION"]
+__all__ = [
+    "ResultCache",
+    "ENGINE_VERSION",
+    "sim_result_payload",
+    "sim_result_restore",
+]
 
 #: Bump when the simulation engine's observable behaviour changes: cached
 #: results are keyed on it, so stale caches invalidate themselves.
 ENGINE_VERSION = 1
+
+
+def sim_result_payload(result: SimResult) -> dict:
+    """The canonical JSON shape of a :class:`SimResult` (single source of
+    truth — the screen jobs embed the same shape for folded full runs)."""
+    return {
+        "config_name": result.config_name,
+        "benchmarks": list(result.benchmarks),
+        "mapping": list(result.mapping),
+        "cycles": result.cycles,
+        "committed": list(result.committed),
+        "commit_target": result.commit_target,
+        "ipc": result.ipc,
+        "thread_ipc": list(result.thread_ipc),
+        "stats": result.stats,
+    }
+
+
+def sim_result_restore(payload: dict) -> SimResult:
+    """Inverse of :func:`sim_result_payload`."""
+    return SimResult(
+        config_name=payload["config_name"],
+        benchmarks=tuple(payload["benchmarks"]),
+        mapping=tuple(payload["mapping"]),
+        cycles=payload["cycles"],
+        committed=tuple(payload["committed"]),
+        commit_target=payload["commit_target"],
+        ipc=payload["ipc"],
+        thread_ipc=tuple(payload["thread_ipc"]),
+        stats=dict(payload["stats"]),
+    )
 
 
 class ResultCache:
@@ -40,14 +81,20 @@ class ResultCache:
 
     @staticmethod
     def job_key(job) -> str:
-        """Stable content hash of a job's full description."""
-        # repr() of the (frozen, nested) config dataclass covers every
-        # parameter; named configs stay distinct from modified copies
-        # because replace() changes the name or a parameter in the repr.
-        config = job.config if isinstance(job.config, str) else repr(job.config)
-        desc = json.dumps(
-            {
-                "engine": ENGINE_VERSION,
+        """Stable content hash of a job's full description.
+
+        Jobs exposing ``cache_key_fields()`` (screen jobs) describe
+        themselves; plain :class:`SimJob` uses the legacy field set. Both
+        are salted with the engine and packed-trace format versions.
+        """
+        if hasattr(job, "cache_key_fields"):
+            fields = job.cache_key_fields()
+        else:
+            # repr() of the (frozen, nested) config dataclass covers every
+            # parameter; named configs stay distinct from modified copies
+            # because replace() changes the name or a parameter in the repr.
+            config = job.config if isinstance(job.config, str) else repr(job.config)
+            fields = {
                 "config": config,
                 "benchmarks": list(job.benchmarks),
                 "mapping": list(job.mapping),
@@ -56,6 +103,12 @@ class ResultCache:
                 "warmup": job.warmup,
                 "max_cycles": job.max_cycles,
                 "seed": job.seed,
+            }
+        desc = json.dumps(
+            {
+                "engine": ENGINE_VERSION,
+                "trace_format": PACK_FORMAT_VERSION,
+                **fields,
             },
             sort_keys=True,
         )
@@ -67,51 +120,35 @@ class ResultCache:
     # -- access ------------------------------------------------------------
 
     def get(self, job) -> Optional[SimResult]:
-        """Return the cached result for ``job`` or None."""
+        """Return the cached result for ``job`` or None.
+
+        Any unreadable payload — truncated file, invalid JSON, missing or
+        mistyped fields — counts as a miss: the caller recomputes and the
+        fresh ``put`` overwrites the damaged entry.
+        """
         path = self._path(self.job_key(job))
         try:
             payload = json.loads(path.read_text())
-        except (FileNotFoundError, json.JSONDecodeError):
+            if hasattr(job, "restore_result"):
+                result = job.restore_result(payload)
+            else:
+                result = sim_result_restore(payload)
+        except (OSError, ValueError, KeyError, TypeError):
+            # ValueError covers json.JSONDecodeError; OSError covers a
+            # vanished/unreadable file.
             self.misses += 1
             return None
         self.hits += 1
-        return SimResult(
-            config_name=payload["config_name"],
-            benchmarks=tuple(payload["benchmarks"]),
-            mapping=tuple(payload["mapping"]),
-            cycles=payload["cycles"],
-            committed=tuple(payload["committed"]),
-            commit_target=payload["commit_target"],
-            ipc=payload["ipc"],
-            thread_ipc=tuple(payload["thread_ipc"]),
-            stats=dict(payload["stats"]),
-        )
+        return result
 
-    def put(self, job, result: SimResult) -> None:
+    def put(self, job, result) -> None:
         """Store ``result`` under ``job``'s key (atomic write)."""
-        payload = {
-            "config_name": result.config_name,
-            "benchmarks": list(result.benchmarks),
-            "mapping": list(result.mapping),
-            "cycles": result.cycles,
-            "committed": list(result.committed),
-            "commit_target": result.commit_target,
-            "ipc": result.ipc,
-            "thread_ipc": list(result.thread_ipc),
-            "stats": result.stats,
-        }
+        if hasattr(job, "result_payload"):
+            payload = job.result_payload(result)
+        else:
+            payload = sim_result_payload(result)
         path = self._path(self.job_key(job))
-        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(payload, fh)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        atomic_write_bytes(path, json.dumps(payload).encode())
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*.json"))

@@ -22,7 +22,19 @@ from repro.trace.benchmarks import (
     get_benchmark,
 )
 from repro.trace.synthetic import StaticProgram, TraceGenerator, generate_trace
-from repro.trace.stream import Trace, trace_for, clear_trace_cache
+from repro.trace.packed import (
+    PACK_FORMAT_VERSION,
+    PackedTrace,
+    PackedTraceStore,
+    WarmSequences,
+)
+from repro.trace.stream import (
+    Trace,
+    trace_for,
+    clear_trace_cache,
+    set_trace_store,
+    active_trace_store,
+)
 from repro.trace.profiling import DCacheProfile, profile_benchmark, profile_workload
 from repro.trace.composite import composite_trace
 
@@ -36,9 +48,15 @@ __all__ = [
     "StaticProgram",
     "TraceGenerator",
     "generate_trace",
+    "PACK_FORMAT_VERSION",
+    "PackedTrace",
+    "PackedTraceStore",
+    "WarmSequences",
     "Trace",
     "trace_for",
     "clear_trace_cache",
+    "set_trace_store",
+    "active_trace_store",
     "DCacheProfile",
     "composite_trace",
     "profile_benchmark",

@@ -10,53 +10,136 @@ retires its full instruction budget.
 mapping evaluated on a workload sees *exactly* the same instruction
 stream (paired comparison, and a large speedup for the oracle mapping
 search).
+
+A process may additionally activate a :class:`~repro.trace.packed.
+PackedTraceStore` via :func:`set_trace_store`: ``trace_for`` then serves
+cache misses from the store's mmap-backed packed buffers before falling
+back to :class:`~repro.trace.synthetic.TraceGenerator` — this is how
+BatchRunner workers skip trace generation entirely. Store-served traces
+are *packed-backed*: ``Trace.entry`` reads straight out of the shared
+buffers (zero copy), and the full tuple lists materialize lazily only
+when the simulator's fetch loop first needs them.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+import os
+from typing import Dict, List, Optional, Tuple
 
 from repro.isa.instruction import TraceEntry
 from repro.trace.benchmarks import BenchmarkProfile, get_benchmark
+from repro.trace.packed import PackedTrace, PackedTraceStore, WarmSequences, warm_sequences
 from repro.trace.synthetic import StaticProgram, TraceGenerator
 
-__all__ = ["Trace", "trace_for", "clear_trace_cache"]
+__all__ = [
+    "Trace",
+    "trace_for",
+    "clear_trace_cache",
+    "set_trace_store",
+    "active_trace_store",
+]
 
 
 class Trace:
-    """An immutable dynamic instruction stream for one thread."""
+    """An immutable dynamic instruction stream for one thread.
 
-    __slots__ = ("name", "profile", "entries", "junk", "length")
+    Backed either by explicit tuple lists (``entries``/``junk``) or by a
+    :class:`~repro.trace.packed.PackedTrace` (``packed=``), in which case
+    the tuple lists materialize lazily and :meth:`entry` serves reads
+    directly from the packed columns until then.
+    """
+
+    __slots__ = ("name", "profile", "length", "junk_length", "packed", "key",
+                 "_entries", "_junk", "_warm_seqs")
 
     def __init__(
         self,
         name: str,
         profile: BenchmarkProfile,
-        entries: List[TraceEntry],
-        junk: List[TraceEntry],
+        entries: Optional[List[TraceEntry]] = None,
+        junk: Optional[List[TraceEntry]] = None,
+        *,
+        packed: Optional[PackedTrace] = None,
+        key: Optional[Tuple[str, int, int]] = None,
     ) -> None:
-        if not entries:
-            raise ValueError("trace must contain at least one instruction")
-        if not junk:
-            raise ValueError("trace needs a wrong-path junk pool")
+        if packed is None:
+            if not entries:
+                raise ValueError("trace must contain at least one instruction")
+            if not junk:
+                raise ValueError("trace needs a wrong-path junk pool")
+            self.length = len(entries)
+            self.junk_length = len(junk)
+        else:
+            # PackedTrace's constructor enforces non-empty entries/junk.
+            self.length = packed.length
+            self.junk_length = packed.junk_length
         self.name = name
         self.profile = profile
-        self.entries = entries
-        self.junk = junk
-        self.length = len(entries)
+        self.packed = packed
+        self.key = key  # (name, length, instance) when built by trace_for
+        self._entries = entries
+        self._junk = junk
+        self._warm_seqs: Optional[WarmSequences] = None
+
+    # -- lazy materialization ---------------------------------------------
+
+    @property
+    def entries(self) -> List[TraceEntry]:
+        """Correct-path tuple list (materialized from packed on first use)."""
+        e = self._entries
+        if e is None:
+            e = self.packed.materialize_entries()
+            self._entries = e
+        return e
+
+    @property
+    def junk(self) -> List[TraceEntry]:
+        """Wrong-path pool tuple list (materialized on first use)."""
+        j = self._junk
+        if j is None:
+            j = self.packed.materialize_junk()
+            self._junk = j
+        return j
+
+    # -- element access ----------------------------------------------------
 
     def entry(self, index: int) -> TraceEntry:
         """Correct-path entry ``index`` (wraps modulo the trace length)."""
-        return self.entries[index % self.length]
+        e = self._entries
+        if e is not None:
+            return e[index % self.length]
+        return self.packed.entry(index % self.length)
 
     def next_pc(self, index: int) -> int:
         """PC of the instruction after ``index`` — i.e. the actual target
         of the instruction at ``index`` along the executed path."""
-        return self.entries[(index + 1) % self.length][6]
+        i = (index + 1) % self.length
+        e = self._entries
+        if e is not None:
+            return e[i][6]
+        return self.packed.columns[6][i]
 
     def junk_entry(self, index: int) -> TraceEntry:
         """Wrong-path pool entry (wraps)."""
-        return self.junk[index % len(self.junk)]
+        j = self._junk
+        if j is not None:
+            return j[index % self.junk_length]
+        return self.packed.junk_entry(index % self.junk_length)
+
+    # -- derived views -----------------------------------------------------
+
+    def warm_sequences(self) -> WarmSequences:
+        """Per-structure warm-up access sequences (computed once)."""
+        seqs = self._warm_seqs
+        if seqs is None:
+            packed = self.packed
+            if packed is None:
+                packed = PackedTrace.from_entries(self.name, self._entries,
+                                                  self._junk)
+                self.packed = packed
+            seqs = warm_sequences(packed)
+            self._warm_seqs = seqs
+        return seqs
 
     def __len__(self) -> int:
         return self.length
@@ -68,6 +151,31 @@ class Trace:
 _CACHE: Dict[Tuple[str, int, int], Trace] = {}
 _JUNK_LEN = 2048
 
+#: Process-wide packed store consulted by ``trace_for`` (None = disabled).
+_STORE: Optional[PackedTraceStore] = None
+
+
+def set_trace_store(
+    directory: Optional[str | os.PathLike],
+    save_on_generate: bool = True,
+) -> Optional[PackedTraceStore]:
+    """Activate (or with ``None`` deactivate) the process trace store.
+
+    Returns the active store. BatchRunner workers activate the parent's
+    store with ``save_on_generate=False`` — the parent pre-packed every
+    trace the batch needs, so workers only ever read.
+    """
+    global _STORE
+    if directory is None:
+        _STORE = None
+    else:
+        _STORE = PackedTraceStore(directory, save_on_generate=save_on_generate)
+    return _STORE
+
+
+def active_trace_store() -> Optional[PackedTraceStore]:
+    return _STORE
+
 
 def trace_for(name: str, length: int, instance: int = 0) -> Trace:
     """Return (building if needed) the trace for benchmark ``name``.
@@ -77,16 +185,31 @@ def trace_for(name: str, length: int, instance: int = 0) -> Trace:
     same stream (paper traces are fixed per benchmark), while a benchmark
     running against itself in a hypothetical workload could use distinct
     instances.
+
+    Lookup order: process memo, then the active packed store (zero-copy
+    mmap load), then generation — which optionally persists the packed
+    form back to the store for other processes.
     """
     key = (name, length, instance)
     trace = _CACHE.get(key)
     if trace is None:
         profile = get_benchmark(name)
-        program = StaticProgram(profile, seed=0)
-        gen = TraceGenerator(program, seed=instance)
-        entries = gen.generate(length)
-        junk = gen.generate_junk(_JUNK_LEN)
-        trace = Trace(name, profile, entries, junk)
+        store = _STORE
+        packed = (
+            store.load(name, length, instance, _JUNK_LEN)
+            if store is not None
+            else None
+        )
+        if packed is not None:
+            trace = Trace(name, profile, packed=packed, key=key)
+        else:
+            program = StaticProgram(profile, seed=0)
+            gen = TraceGenerator(program, seed=instance)
+            entries = gen.generate(length)
+            junk = gen.generate_junk(_JUNK_LEN)
+            trace = Trace(name, profile, entries, junk, key=key)
+            if store is not None and store.save_on_generate:
+                store.save(PackedTrace.from_trace(trace), name, length, instance)
         _CACHE[key] = trace
     return trace
 

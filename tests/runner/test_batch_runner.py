@@ -107,6 +107,32 @@ def test_seed_namespaces_trace_draw():
     assert ResultCache.job_key(base) != ResultCache.job_key(seeded)
 
 
+def test_explicit_trace_store_is_populated_and_results_identical(tmp_path):
+    """Parallel runs through a shared packed-trace store must pre-pack
+    every needed trace and produce results identical to the storeless
+    sequential path."""
+    with BatchRunner(workers=1, trace_store=False) as plain:
+        reference = plain.run(JOBS)
+    store_dir = tmp_path / "store"
+    with BatchRunner(workers=2, trace_store=store_dir) as runner:
+        results = runner.run(JOBS)
+    assert results == reference
+    assert list(store_dir.glob("*.trace"))  # parent pre-packed traces
+    assert list(store_dir.glob("*.warm"))  # and warm snapshots
+
+
+def test_private_store_cleaned_up_on_close():
+    runner = BatchRunner(workers=2)
+    store_dir = runner.store_dir
+    assert store_dir is not None
+    runner.run(JOBS)
+    runner.close()
+    import os
+
+    assert runner.store_dir is None
+    assert not os.path.exists(store_dir)
+
+
 def test_resolve_workers(monkeypatch):
     assert resolve_workers(3) == 3
     assert resolve_workers(0) == 1

@@ -1,0 +1,90 @@
+"""ResultCache robustness: corruption falls back to recompute, and cache
+keys track the packed-trace format version (a format bump must orphan
+every cached result, because packed traces feed the simulations)."""
+
+import json
+
+import pytest
+
+from repro.runner import BatchRunner, ResultCache, SimJob
+from repro.runner.screening import ScreenJob
+
+JOB = SimJob("M8", ("gzip", "twolf"), (0, 0), 500)
+
+
+def _cached_path(tmp_path, job):
+    return tmp_path / f"{ResultCache.job_key(job)}.json"
+
+
+def test_truncated_cache_file_recomputes(tmp_path):
+    cache = ResultCache(tmp_path)
+    result = JOB.execute()
+    cache.put(JOB, result)
+    path = _cached_path(tmp_path, JOB)
+    text = path.read_text()
+    path.write_text(text[: len(text) // 2])  # truncate mid-JSON
+    assert cache.get(JOB) is None  # miss, not an exception
+    # And the standard runner flow recomputes and repairs the entry.
+    with BatchRunner(workers=1, cache_dir=tmp_path) as runner:
+        again = runner.run_one(JOB)
+    assert again == result
+    assert cache.get(JOB) == result
+
+
+def test_garbage_cache_file_recomputes(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(JOB, JOB.execute())
+    _cached_path(tmp_path, JOB).write_text("ceci n'est pas du json")
+    assert cache.get(JOB) is None
+
+
+def test_valid_json_with_missing_fields_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(JOB, JOB.execute())
+    _cached_path(tmp_path, JOB).write_text(json.dumps({"cycles": 1}))
+    assert cache.get(JOB) is None
+
+
+def test_mistyped_payload_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(JOB, JOB.execute())
+    _cached_path(tmp_path, JOB).write_text(json.dumps([1, 2, 3]))
+    assert cache.get(JOB) is None
+
+
+def test_key_changes_when_pack_format_version_bumps(monkeypatch):
+    """Packed traces feed every simulation, so the result-cache key must
+    incorporate the packing format version."""
+    import repro.runner.cache as cache_mod
+
+    before_sim = ResultCache.job_key(JOB)
+    screen = ScreenJob("M8", ("gzip", "twolf"), ((0, 0),), 300)
+    before_screen = ResultCache.job_key(screen)
+    monkeypatch.setattr(cache_mod, "PACK_FORMAT_VERSION",
+                        cache_mod.PACK_FORMAT_VERSION + 1)
+    assert ResultCache.job_key(JOB) != before_sim
+    assert ResultCache.job_key(screen) != before_screen
+
+
+def test_screen_job_cache_round_trip(tmp_path):
+    job = ScreenJob("2M4+2M2", ("gzip", "mcf"), ((0, 2), (0, 1), (0, 0)), 300)
+    cache = ResultCache(tmp_path)
+    assert cache.get(job) is None
+    result = job.execute()
+    cache.put(job, result)
+    assert cache.get(job) == result
+
+
+def test_screen_job_corrupted_entry_recomputes(tmp_path):
+    job = ScreenJob("2M4+2M2", ("gzip", "mcf"), ((0, 2), (0, 1)), 300,
+                    full_target=600)
+    cache = ResultCache(tmp_path)
+    result = job.execute()
+    cache.put(job, result)
+    path = tmp_path / f"{ResultCache.job_key(job)}.json"
+    payload = json.loads(path.read_text())
+    del payload["final_scores"]
+    path.write_text(json.dumps(payload))
+    assert cache.get(job) is None
+    cache.put(job, job.execute())
+    assert cache.get(job) == result

@@ -1,0 +1,117 @@
+"""Successive-halving screens: planner mechanics and job exactness.
+
+The load-bearing properties:
+
+* exact mode (``rounds=1``) reproduces the per-candidate screen's scores
+  and tie-breaks bit-exactly;
+* checkpointed continuation is indistinguishable from fresh longer runs —
+  survivors' final-round scores equal what exact screening would produce,
+  and folded full-length results equal :func:`run_simulation`'s.
+"""
+
+import pytest
+
+from repro.core.simulation import run_simulation
+from repro.runner.screening import HalvingScreen, ScreenJob
+
+CANDS = ((0, 2), (0, 1), (0, 0), (2, 0), (1, 0), (0, 3))
+
+
+# ------------------------------------------------------------ HalvingScreen
+
+
+def test_exact_plan_is_single_full_round():
+    screen = HalvingScreen(CANDS, 1000, rounds=1)
+    assert screen.targets == [1000]
+    assert screen.is_final_round
+    screen.feed({m: float(i) for i, m in enumerate(CANDS)})
+    assert screen.finished
+    assert screen.best() == CANDS[-1]
+    assert screen.worst() == CANDS[0]
+
+
+def test_ladder_targets_double_up_to_final():
+    screen = HalvingScreen(CANDS * 4, 1600, rounds=4, min_target=100)
+    assert screen.targets == [200, 400, 800, 1600]
+    screen2 = HalvingScreen(CANDS * 4, 800, rounds=4, min_target=150)
+    assert screen2.targets[-1] == 800
+    assert screen2.targets[0] >= 150
+    assert screen2.targets == sorted(set(screen2.targets))
+
+
+def test_pruning_keeps_both_tails():
+    cands = tuple((0, i) for i in range(12))
+    screen = HalvingScreen(cands, 800, rounds=3, keep=0.5, min_survivors=3)
+    scores = {m: float(m[1]) for m in cands}  # rank = index
+    screen.feed(scores)
+    assert len(screen.survivors) == 6
+    # top 3 and bottom 3 of the ranking survive; the middle is gone.
+    assert set(screen.survivors) == {(0, 11), (0, 10), (0, 9),
+                                     (0, 2), (0, 1), (0, 0)}
+
+
+def test_tiny_candidate_sets_skip_straight_to_final():
+    screen = HalvingScreen(CANDS[:2], 900, rounds=4, min_survivors=3)
+    assert screen.is_final_round
+    assert screen.round_target == 900
+
+
+def test_tie_break_matches_seed_max_min_over_tuples():
+    """Seed drivers used max()/min() over (ipc, mapping) tuples."""
+    screen = HalvingScreen(CANDS, 500, rounds=1)
+    tied = {m: 1.0 for m in CANDS}
+    screen.feed(tied)
+    assert screen.best() == max(CANDS)
+    assert screen.worst() == min(CANDS)
+
+
+def test_feed_requires_all_survivor_scores():
+    screen = HalvingScreen(CANDS, 500, rounds=1)
+    with pytest.raises(ValueError):
+        screen.feed({CANDS[0]: 1.0})
+
+
+# ----------------------------------------------------------------- ScreenJob
+
+WORKLOAD = ("gzip", "mcf")
+PAIR_CANDS = ((0, 2), (0, 1), (0, 0), (2, 0))
+
+
+def test_exact_screen_job_equals_per_candidate_simulations():
+    job = ScreenJob("2M4+2M2", WORKLOAD, PAIR_CANDS, 400)
+    scores = job.execute().scores()
+    for m in PAIR_CANDS:
+        assert scores[m] == run_simulation("2M4+2M2", WORKLOAD, m, 400).ipc
+    assert job.execute().screens_run == len(PAIR_CANDS)
+
+
+def test_checkpointed_final_scores_equal_fresh_full_window_runs():
+    """Survivors' staged (continued) runs must score exactly like fresh
+    runs at the final window — the checkpoint-resume identity."""
+    job = ScreenJob("2M4+2M2", WORKLOAD, PAIR_CANDS, 800, rounds=3,
+                    min_target=100, min_survivors=2)
+    result = job.execute()
+    assert result.screens_run > len(PAIR_CANDS)  # multiple rounds ran
+    for m, ipc in result.final_scores:
+        assert ipc == run_simulation("2M4+2M2", WORKLOAD, m, 800).ipc
+
+
+def test_folded_full_results_equal_run_simulation():
+    job = ScreenJob("2M4+2M2", WORKLOAD, PAIR_CANDS, 400, rounds=2,
+                    min_target=100, min_survivors=2,
+                    trace_length=4096, full_target=1200,
+                    extra_fulls=((0, 1),))
+    result = job.execute()
+    mappings = [m for m, _ in result.full_results]
+    assert (0, 1) in mappings  # the extra (heuristic-style) full ran
+    for m, folded in result.full_results:
+        fresh = run_simulation("2M4+2M2", WORKLOAD, m, 1200, trace_length=4096)
+        assert folded == fresh  # full SimResult equality, stats included
+
+
+def test_screen_job_trace_triples_match_simulation_resolution():
+    job = ScreenJob("2M4+2M2", ("twolf", "twolf"), PAIR_CANDS, 400, seed=1)
+    assert job.trace_triples() == [
+        ("twolf", 4096, 0 + (1 << 16)),
+        ("twolf", 4096, 1 + (1 << 16)),
+    ]
