@@ -5,6 +5,8 @@
 #                 benchmarks/output/*.txt and BENCH_0001.json)
 #   make figures  regenerate Figs. 4/5 + the §5 summary via the CLI
 #
+#   make cov      tier-1 suite under pytest-cov with the CI coverage
+#                 floor (80% over src/repro); writes coverage.xml
 #   make ci       what the GitHub Actions workflow runs: tier-1 suite +
 #                 a smoke `figures` sweep (tiny scale, 2 workers)
 #
@@ -15,10 +17,14 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-throughput figures ci
+.PHONY: test cov bench bench-throughput figures ci
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+cov:
+	$(PYTHON) -m pytest -x -q --cov=repro --cov-report=term \
+		--cov-report=xml:coverage.xml --cov-fail-under=80
 
 bench:
 	RUN_BENCH=1 $(PYTHON) -m pytest benchmarks -q

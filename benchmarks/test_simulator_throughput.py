@@ -32,11 +32,20 @@ _FALLBACK_SEED_CYCLES_PER_SECOND = 26_462
 
 BENCH_SNAPSHOT = _REPO_ROOT / "BENCH_0001.json"
 SWEEP_SNAPSHOT = _REPO_ROOT / "BENCH_0002.json"
+ENGINE_SNAPSHOT = _REPO_ROOT / "BENCH_0003.json"
 
 #: PR 1 state (commit dc04876) on the reference performance sweep below:
 #: best of 2 cold runs, 4 workers, measured on the development machine at
 #: PR 2 time (runs: 23.607 s / 23.725 s).
 PR1_SWEEP_SECONDS = 23.607
+
+#: PR 2 state (commit 480cb87), re-measured on the development machine at
+#: PR 3 time with interleaved A/B runs (the box drifts; same-session
+#: numbers are the only fair baseline): single-simulation cycles/sec
+#: (best of 4 cold processes) and the reference screening sweep (best of
+#: 4 runs, 4 workers; BENCH_0002 recorded 11.613 s on a faster day).
+PR2_SINGLE_SIM_CPS = {"2M4+2M2": 56_867, "M8": 41_588}
+PR2_SWEEP_SECONDS = 11.94
 
 #: The reference performance sweep: three standard configurations over a
 #: class-and-size spread of workloads at the paper's default experiment
@@ -168,6 +177,111 @@ def test_simulator_cycles_per_second(benchmark):
     print(f"\n[simulator throughput] best {best:,.0f} cycles/s, "
           f"{best / seed_cps:.2f}x the seed engine "
           f"[saved to {BENCH_SNAPSHOT}]")
+
+
+def test_engine_and_screening_throughput(tmp_path, monkeypatch):
+    """PR 3 snapshot (``BENCH_0003.json``): the combined effect of the
+    column-backed fetch engine, the specialized monolithic (M8) pipeline
+    path and marginal-IPC screening.
+
+    Records single-simulation cycles/sec on the hdSMT reference scenario
+    *and* the monolithic M8 baseline (the specialized path), plus the
+    reference sweep wall clock under ``--screening``, against the PR 2
+    numbers recorded above. The hard guarantees of this PR are exactness
+    (differential fetch goldens, screening-equivalence contract) and
+    strictly less screening work (the marginal ladder keeps 0.35 of each
+    round against PR 2's 0.5 — ~16% fewer screen cycles on the validated
+    10-pair spread); single-sim throughput is required not to regress
+    beyond noise."""
+    from repro.experiments.performance import (
+        clear_result_cache,
+        run_performance_experiment,
+    )
+    from repro.experiments.scale import ExperimentScale
+    from repro.runner import BatchRunner
+
+    monkeypatch.delenv("REPRO_RESULT_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+
+    def single_sim(config_name, mapping, rounds=5):
+        cfg = get_config(config_name)
+        traces = [trace_for(b, 6000) for b in ("gzip", "twolf", "bzip2", "mcf")]
+        best = None
+        cycles = 0
+        for _ in range(rounds):
+            proc = Processor(cfg, traces, mapping, commit_target=3000)
+            proc.warm()
+            t0 = time.perf_counter()
+            proc.run()
+            dt = time.perf_counter() - t0
+            cycles = proc.cycle
+            if best is None or dt < best:
+                best = dt
+        return round(cycles / best)
+
+    hdsmt_cps = single_sim("2M4+2M2", (0, 2, 1, 3))
+    m8_cps = single_sim("M8", (0, 0, 0, 0))
+
+    scale = ExperimentScale(**SWEEP_SCALE)
+    sweep_times = []
+    for _ in range(2):
+        clear_result_cache()
+        clear_trace_cache()
+        clear_warm_cache()
+        runner = BatchRunner(workers=SWEEP_WORKERS,
+                             trace_store=tmp_path / "trace-store")
+        t0 = time.perf_counter()
+        run_performance_experiment(SWEEP_CONFIGS, SWEEP_WORKLOADS, scale,
+                                   runner=runner, screening=True)
+        sweep_times.append(time.perf_counter() - t0)
+        runner.close()
+    sweep_best = min(sweep_times)
+
+    snapshot = {
+        "benchmark": "test_engine_and_screening_throughput",
+        "seed_cycles_per_second": seed_baseline_cycles_per_second(),
+        "single_sim": {
+            "scenario": {
+                "benchmarks": ["gzip", "twolf", "bzip2", "mcf"],
+                "commit_target": 3000,
+                "trace_length": 6000,
+            },
+            "pr2_cycles_per_second": PR2_SINGLE_SIM_CPS,
+            "cycles_per_second": {"2M4+2M2": hdsmt_cps, "M8": m8_cps},
+        },
+        "reference_sweep": {
+            "configs": list(SWEEP_CONFIGS),
+            "workloads": list(SWEEP_WORKLOADS),
+            "scale": SWEEP_SCALE,
+            "workers": SWEEP_WORKERS,
+            "screening": True,
+            "pr2_recorded_seconds": PR2_SWEEP_SECONDS,
+            "seconds_best": round(sweep_best, 3),
+            "seconds_all": [round(t, 3) for t in sweep_times],
+            "speedup_vs_pr2_recorded": round(PR2_SWEEP_SECONDS / sweep_best, 3),
+        },
+        "screen_work_note": (
+            "marginal-IPC ladder (keep 0.35, top_fraction 0.67) runs "
+            "~16% fewer screen cycles than PR 2's cumulative keep-0.5 "
+            "ladder on the validated 10-pair spread, with identical "
+            "reference-scenario selection "
+            "(tests/experiments/test_screening_equivalence.py)"
+        ),
+    }
+    ENGINE_SNAPSHOT.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"\n[engine+screening] single-sim {hdsmt_cps:,}/s (hdSMT) "
+          f"{m8_cps:,}/s (M8); sweep best {sweep_best:.2f} s vs PR2 "
+          f"{PR2_SWEEP_SECONDS:.2f} s [saved to {ENGINE_SNAPSHOT}]")
+    # Catastrophic-regression tripwire: same-machine PR-over-PR drift is
+    # judged from the committed BENCH_000N snapshots (boxes differ and
+    # drift), but an engine-breaking regression — e.g. the fetch block
+    # cache disabled so every packet re-decodes — costs 5-10x and must
+    # fail even on hardware several times slower than the recorded dev
+    # machine. The seed engine measured ~26.5k cycles/s; require at
+    # least ~30% of that.
+    seed_cps = snapshot["seed_cycles_per_second"]
+    assert hdsmt_cps > 0.3 * seed_cps, (hdsmt_cps, seed_cps)
+    assert m8_cps > 0.3 * seed_cps, (m8_cps, seed_cps)
 
 
 def _sweep_stage_breakdown() -> dict:

@@ -20,7 +20,8 @@ class BranchTargetBuffer:
     different address spaces do not alias to the same target.
     """
 
-    __slots__ = ("entries", "ways", "sets", "_tags", "_targets", "lookups", "hits")
+    __slots__ = ("entries", "ways", "sets", "_tags", "_targets",
+                 "_base_tags", "_base_targets", "lookups", "hits")
 
     def __init__(self, entries: int = 256, ways: int = 4) -> None:
         if entries % ways:
@@ -30,9 +31,15 @@ class BranchTargetBuffer:
         self.sets = entries // ways
         if self.sets & (self.sets - 1):
             raise ValueError("number of sets must be a power of two")
-        # Per set: parallel recency-ordered lists (index 0 = MRU).
-        self._tags: List[List[int]] = [[] for _ in range(self.sets)]
-        self._targets: List[List[int]] = [[] for _ in range(self.sets)]
+        # Per set: parallel recency-ordered lists (index 0 = MRU). After
+        # a warm-state restore (:meth:`load_state`) rows are None and
+        # `_base_*` hold the shared, never-mutated snapshot rows; a set
+        # copies its rows out the first time it is touched — the same
+        # copy-on-write scheme as SetAssociativeCache.
+        self._tags: List[Optional[List[int]]] = [[] for _ in range(self.sets)]
+        self._targets: List[Optional[List[int]]] = [[] for _ in range(self.sets)]
+        self._base_tags: Optional[List[List[int]]] = None
+        self._base_targets: Optional[List[List[int]]] = None
         self.lookups = 0
         self.hits = 0
 
@@ -47,6 +54,10 @@ class BranchTargetBuffer:
         self.lookups += 1
         s, tag = self._set_tag(thread, pc)
         tags = self._tags[s]
+        if tags is None:  # copy the restored set out of the shared base
+            tags = self._base_tags[s][:]
+            self._tags[s] = tags
+            self._targets[s] = self._base_targets[s][:]
         try:
             i = tags.index(tag)
         except ValueError:
@@ -63,6 +74,10 @@ class BranchTargetBuffer:
         """Install/refresh the target of a taken control transfer."""
         s, tag = self._set_tag(thread, pc)
         tags = self._tags[s]
+        if tags is None:  # copy the restored set out of the shared base
+            tags = self._base_tags[s][:]
+            self._tags[s] = tags
+            self._targets[s] = self._base_targets[s][:]
         targets = self._targets[s]
         try:
             i = tags.index(tag)
@@ -85,19 +100,34 @@ class BranchTargetBuffer:
             update(thread, pc, target)
 
     def dump_state(self) -> tuple:
-        """Copy of (tags, targets, stats) for exact restore."""
-        return (
-            [t[:] for t in self._tags],
-            [t[:] for t in self._targets],
-            self.lookups,
-            self.hits,
-        )
+        """Copy of (tags, targets, stats) for exact restore. Sets not
+        yet copied out of a restored base dump from the base rows, so
+        the snapshot shape is independent of how the contents were
+        built."""
+        bt = self._base_tags
+        if bt is None:
+            tags = [t[:] for t in self._tags]
+            targets = [t[:] for t in self._targets]
+        else:
+            bg = self._base_targets
+            tags = [t[:] if t is not None else bt[i][:]
+                    for i, t in enumerate(self._tags)]
+            targets = [t[:] if t is not None else bg[i][:]
+                       for i, t in enumerate(self._targets)]
+        return (tags, targets, self.lookups, self.hits)
 
     def load_state(self, snap: tuple) -> None:
-        """Restore a :meth:`dump_state` snapshot."""
+        """Restore a :meth:`dump_state` snapshot (exact contents + stats).
+
+        O(1) per set rather than O(entries): the snapshot rows become
+        the shared copy-on-write base and each set copies out lazily on
+        first touch. The snapshot itself is never mutated, so many BTBs
+        can restore from one snapshot concurrently."""
         tags, targets, lookups, hits = snap
-        self._tags = [t[:] for t in tags]
-        self._targets = [t[:] for t in targets]
+        self._tags = [None] * self.sets
+        self._targets = [None] * self.sets
+        self._base_tags = tags
+        self._base_targets = targets
         self.lookups = lookups
         self.hits = hits
 

@@ -52,6 +52,7 @@ class PerceptronPredictor:
         "_weights",
         "_local_history",
         "_global_history",
+        "_hist_shared",
         "_pred_mask_local",
         "_pred_mask_global",
         "lookups",
@@ -86,6 +87,9 @@ class PerceptronPredictor:
         ]
         self._local_history = [0] * local_entries
         self._global_history = [0] * max_threads
+        #: True while the history tables are still the restored snapshot's
+        #: own lists (copy-on-write: the first shift copies them out).
+        self._hist_shared = False
         self._pred_mask_local = (1 << local_bits) - 1
         self._pred_mask_global = (1 << global_bits) - 1
         self.lookups = 0
@@ -152,7 +156,8 @@ class PerceptronPredictor:
         which is the standard SMTSIM simplification.
         """
         word = pc >> 2
-        weights = self._weights[(word ^ (word >> 8)) & (self.num_perceptrons - 1)]
+        idx = (word ^ (word >> 8)) & (self.num_perceptrons - 1)
+        weights = self._weights[idx]
         li = word & (self.local_entries - 1)
         g = self._global_history[thread] & self._pred_mask_global
         l = self._local_history[li] & self._pred_mask_local
@@ -174,16 +179,22 @@ class PerceptronPredictor:
             limit = self.weight_limit
             neg = -limit
             w0 = weights[0] + t
-            weights[0] = limit if w0 > limit else (neg if w0 < neg else w0)
-            bits = inputs
-            trained = []
+            trained = [limit if w0 > limit else (neg if w0 < neg else w0)]
             append = trained.append
+            bits = inputs
             for w in weights[1:]:
                 w = w + t if bits & 1 else w - t
                 append(limit if w > limit else (neg if w < neg else w))
                 bits >>= 1
-            weights[1:] = trained
+            # Rows are *replaced*, never mutated in place: restored
+            # snapshots share row objects with live predictors (row-level
+            # copy-on-write) and stay valid whatever trains afterwards.
+            self._weights[idx] = trained
         # history shifts
+        if self._hist_shared:
+            self._local_history = self._local_history[:]
+            self._global_history = self._global_history[:]
+            self._hist_shared = False
         bit = 1 if taken else 0
         self._global_history[thread] = (
             (self._global_history[thread] << 1) | bit
@@ -200,9 +211,15 @@ class PerceptronPredictor:
             update(thread, pc, taken)
 
     def dump_state(self) -> tuple:
-        """Copy of (weights, histories, stats) for exact restore."""
+        """(weights, histories, stats) snapshot for exact restore.
+
+        O(perceptrons), not O(weights): rows are shared, not copied —
+        safe because training replaces rows instead of mutating them
+        (see :meth:`update`), so a snapshot's rows can never change
+        under it. History lists are small and copied outright.
+        """
         return (
-            [w[:] for w in self._weights],
+            self._weights[:],
             self._local_history[:],
             self._global_history[:],
             self.lookups,
@@ -211,17 +228,27 @@ class PerceptronPredictor:
         )
 
     def load_state(self, snap: tuple) -> None:
-        """Restore a :meth:`dump_state` snapshot."""
+        """Restore a :meth:`dump_state` snapshot, copy-on-write: the
+        row list is adopted shallowly (rows are immutable-by-convention)
+        and the history tables stay the snapshot's own lists until the
+        first post-restore shift copies them out — restoring thousands
+        of screening candidates from one snapshot costs O(perceptrons)
+        each, and no amount of post-restore training aliases back."""
         weights, local, global_, lookups, mispredicts, trainings = snap
-        self._weights = [w[:] for w in weights]
-        self._local_history = local[:]
-        self._global_history = global_[:]
+        self._weights = list(weights)
+        self._local_history = local
+        self._global_history = global_
+        self._hist_shared = True
         self.lookups = lookups
         self.mispredicts = mispredicts
         self.trainings = trainings
 
     def reset_thread(self, thread: int) -> None:
         """Clear one thread's global history (context switch)."""
+        if self._hist_shared:
+            self._local_history = self._local_history[:]
+            self._global_history = self._global_history[:]
+            self._hist_shared = False
         self._global_history[thread] = 0
 
     def reset_stats(self) -> None:

@@ -152,8 +152,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--screening",
         action="store_true",
         help="successive-halving oracle screening: prune mapping "
-        "candidates with short screens before full-window runs "
-        "(validated approximation; default is the exact screen)",
+        "candidates with short checkpointed screens (ranked by "
+        "per-round marginal IPC; the final round scores cumulative "
+        "full-window IPC, so selection ties break exactly as the exact "
+        "screen's) before full-window runs (validated approximation — "
+        "identical oracle selection on the reference scenario; default "
+        "is the exact screen)",
     )
     p_fig.set_defaults(func=_cmd_figures)
 

@@ -66,7 +66,7 @@ from repro.isa.opcodes import (
 )
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.trace.packed import PACK_FORMAT_VERSION
-from repro.trace.stream import Trace
+from repro.trace.stream import FETCH_MASK, FETCH_SHIFT, Trace
 
 __all__ = [
     "Processor",
@@ -337,6 +337,16 @@ class Processor:
         #: thread -> its Pipeline object (kept in sync by dynamic remapping)
         self._pipe_by_thread = [self.pipelines[p] for p in self.pipe_of]
 
+        #: per-thread block tables over the packed trace columns — the
+        #: fetch engine indexes these instead of materialized tuple lists
+        #: (blocks decode lazily on first touch; see Trace.fetch_view).
+        self._fetch_eblocks: List[list] = []
+        self._fetch_jblocks: List[list] = []
+        for tr in self.traces:
+            eb, jb = tr.fetch_view()
+            self._fetch_eblocks.append(eb)
+            self._fetch_jblocks.append(jb)
+
         self.mem = MemoryHierarchy(self.params.memory, max_threads=n)
         self.branch_unit = BranchUnit(max_threads=n)
         self.policy = make_policy(config.fetch_policy)
@@ -459,6 +469,20 @@ class Processor:
 
         self._commit_rotor = 0
         self._warmed = False
+
+        # --- stage dispatch ----------------------------------------------
+        # Monolithic configurations (the M8 baseline — a fixed ~15% of
+        # every sweep that only responds to engine gains) run specialized
+        # single-pipeline commit/fetch stages: one shared decoupling
+        # buffer, no per-thread pipeline indirection, no outer pipeline
+        # loops. Provably the same work in the same order, so results are
+        # bit-identical (pinned by the golden-equivalence suite).
+        if config.is_monolithic:
+            self._commit_impl = self._commit_mono
+            self._fetch_impl = self._fetch_mono
+        else:
+            self._commit_impl = self._commit
+            self._fetch_impl = self._fetch
 
     # ------------------------------------------------- compatibility views
 
@@ -642,11 +666,11 @@ class Processor:
         stall = self.fetch_stall_until
         active = self.active_pipes
         n = self.num_threads
-        commit = self._commit
+        commit = self._commit_impl
         writeback = self._writeback
         issue = self._issue
         rename = self._rename
-        fetch = self._fetch
+        fetch = self._fetch_impl
         while not self.finished:
             cyc = self.cycle
             if cyc >= max_cycles:
@@ -721,7 +745,7 @@ class Processor:
     def step(self) -> None:
         """Advance one cycle: commit, writeback, issue, rename, fetch."""
         if self._commitable:
-            self._commit()
+            self._commit_impl()
         else:
             self._commit_rotor += 1
         if self._wheel[self.cycle & self._wheel_mask] or self._far_events:
@@ -734,7 +758,7 @@ class Processor:
         for pl in self.active_pipes:
             if pl.buffer and pl.blocked_epoch != free_epoch:
                 self._rename(pl)
-        self._fetch()
+        self._fetch_impl()
         self.cycle += 1
 
     # ---------------------------------------------------------------- commit
@@ -801,6 +825,68 @@ class Processor:
         self.phys_free = phys_free
         # ROB slots / rename registers were released (the gate guarantees
         # at least one pop happened): blocked rename stages may proceed.
+        self._free_epoch += 1
+
+    def _commit_mono(self) -> None:
+        """Single-pipeline commit: the generic stage with the pipeline
+        loop collapsed (one pipeline hosts every thread), same rotor
+        order and budget accounting — bit-identical to :meth:`_commit`."""
+        entries, states, _, deps, _, _, _, _, _, _ = self._rob_arrays
+        heads = self.rob_head
+        counts = self.rob_count
+        committed = self.committed
+        reg_maps = self.reg_map
+        mem_store = self.mem.retire_store
+        r = self.rob_entries
+        target = self.commit_target
+        phys_free = self.phys_free
+        rotor = self._commit_rotor
+        self._commit_rotor = rotor + 1
+        head_done = self._head_done
+        pl = self.active_pipes[0]
+        budget = pl.width
+        threads = pl.threads
+        nt = len(threads)
+        for k in range(nt):
+            if budget <= 0:
+                break
+            t = threads[(rotor + k) % nt]
+            head = heads[t]
+            count = counts[t]
+            base = t * r
+            if not count or states[base + head] != S_DONE:
+                continue
+            rmap = reg_maps[t]
+            c = committed[t]
+            while budget > 0 and count > 0 and states[base + head] == S_DONE:
+                i = base + head
+                e = entries[i]
+                if e[0] == OP_STORE:
+                    mem_store(e[4], t)
+                dest = e[1]
+                if dest >= 0:
+                    phys_free += 1
+                    if rmap[dest] == head:
+                        rmap[dest] = -1
+                states[i] = S_FREE
+                d = deps[i]
+                if d:
+                    d.clear()
+                head += 1
+                if head == r:
+                    head = 0
+                count -= 1
+                budget -= 1
+                c += 1
+                if c >= target:
+                    self.finished = True
+            committed[t] = c
+            heads[t] = head
+            counts[t] = count
+            if not (count and states[base + head] == S_DONE):
+                head_done[t] = False
+                self._commitable -= 1
+        self.phys_free = phys_free
         self._free_epoch += 1
 
     # ------------------------------------------------------------- writeback
@@ -1103,7 +1189,14 @@ class Processor:
             return
         budget = pl.width
         tpc = pl.tpc
-        threads_seen: List[int] = []
+        # Threads-per-cycle gate: a pipeline hosting no more threads than
+        # rename accepts per cycle can never trip the limit (its buffer
+        # only ever holds its own threads), so the membership bookkeeping
+        # is skipped; otherwise a bitmask replaces the seed's list scans.
+        track_tpc = len(pl.threads) > tpc
+        new_thread = False
+        seen_mask = 0
+        nseen = 0
         iq_used = pl.iq_used
         iq_cap = pl.iq_cap
         ready = pl.ready
@@ -1120,8 +1213,9 @@ class Processor:
         woken = 0
         while budget > 0 and buf:
             t, e, tidx, flags = buf[0]
-            if t not in threads_seen:
-                if len(threads_seen) >= tpc:
+            if track_tpc:
+                new_thread = not ((seen_mask >> t) & 1)
+                if new_thread and nseen >= tpc:
                     break
             op = e[0]
             fu = fu_of[op]
@@ -1133,8 +1227,9 @@ class Processor:
             if dest >= 0 and phys_free <= 0:
                 break
             buf.popleft()
-            if t not in threads_seen:
-                threads_seen.append(t)
+            if new_thread:
+                seen_mask |= 1 << t
+                nseen += 1
             budget -= 1
             slot = rob_tail[t]
             rob_tail[t] = slot + 1 if slot + 1 < r else 0
@@ -1235,8 +1330,57 @@ class Processor:
             threads_used += 1
             remaining -= fetch_thread(t, remaining)
 
+    def _fetch_mono(self) -> None:
+        """Single-pipeline fetch: every thread shares the one decoupling
+        buffer, so the per-candidate pipeline lookups and buffer-space
+        probes of :meth:`_fetch` collapse to a single up-front check.
+        Candidate order and the policy sort are untouched (the candidate
+        list still ascends in thread id before the stable sort), so the
+        fetched stream is bit-identical to the generic stage."""
+        pl = self.active_pipes[0]
+        if len(pl.buffer) >= pl.buffer_cap:
+            return
+        cyc = self.cycle
+        flush_wait = self.flush_wait
+        stall = self.fetch_stall_until
+        candidates = [
+            t for t in range(self.num_threads)
+            if not flush_wait[t] and cyc >= stall[t]
+        ]
+        if not candidates:
+            return
+        if len(candidates) > 1:
+            kind = self._policy_kind
+            if kind == _PK_ICOUNT:
+                candidates.sort(key=self.icount.__getitem__)
+            elif kind == _PK_L1M:
+                # Pipeline width is a constant term within one pipeline;
+                # the stable sort makes (inflight, icount) equivalent to
+                # the generic (inflight, -width, icount) key.
+                infl = self.inflight_loads
+                ic = self.icount
+                candidates.sort(key=lambda t: (infl[t], ic[t]))
+            else:
+                policy = self.policy
+                candidates.sort(key=lambda t: policy.sort_key(self, t))
+        remaining = self._fetch_width
+        threads_used = 0
+        max_threads = self._fetch_threads
+        fetch_thread = self._fetch_thread
+        for t in candidates:
+            if remaining <= 0 or threads_used >= max_threads:
+                break
+            threads_used += 1
+            remaining -= fetch_thread(t, remaining)
+
     def _fetch_thread(self, t: int, budget: int) -> int:
-        """Fetch one packet for thread ``t``; returns instructions taken."""
+        """Fetch one packet for thread ``t``; returns instructions taken.
+
+        Entries are read through the per-trace block tables over the
+        packed int64 columns (``index >> FETCH_SHIFT`` selects a block,
+        decoded from the column slices on first touch) — the tuple lists
+        the seed fetch loop indexed never materialize.
+        """
         pl = self._pipe_by_thread[t]
         buf = pl.buffer
         space = pl.buffer_cap - len(buf)
@@ -1244,19 +1388,31 @@ class Processor:
         if limit <= 0:
             return 0
         trace = self.traces[t]
-        entries = trace.entries
         length = trace.length
-        junk = trace.junk
-        junk_len = len(junk)
+        junk_len = trace.junk_length
+        eblocks = self._fetch_eblocks[t]
+        jblocks = self._fetch_jblocks[t]
+        entry_block = trace.entry_block
+        junk_block = trace.junk_block
+        bshift = FETCH_SHIFT  # locals: the loop reads them per entry
+        bmask = FETCH_MASK
         cyc = self.cycle
         junk_idx = self.junk_idx
         fetch_idx = self.fetch_idx
         wp = self.wrong_path[t]
         # One I-cache/I-TLB probe per packet (head PC).
         if wp:
-            head_pc = junk[junk_idx[t] % junk_len][6]
+            j = junk_idx[t] % junk_len
+            blk = jblocks[j >> bshift]
+            if blk is None:
+                blk = junk_block(j >> bshift)
+            head_pc = blk[j & bmask][6]
         else:
-            head_pc = entries[fetch_idx[t] % length][6]
+            j = fetch_idx[t] % length
+            blk = eblocks[j >> bshift]
+            if blk is None:
+                blk = entry_block(j >> bshift)
+            head_pc = blk[j & bmask][6]
         fetch_lat = self.mem.fetch_latency(head_pc, t)
         if fetch_lat > 0:
             self.fetch_stall_until[t] = cyc + fetch_lat
@@ -1269,21 +1425,33 @@ class Processor:
         predict = unit.predict
         while taken_count < limit:
             if wp:
-                e = junk[junk_idx[t] % junk_len]
+                j = junk_idx[t] % junk_len
+                blk = jblocks[j >> bshift]
+                if blk is None:
+                    blk = junk_block(j >> bshift)
+                e = blk[j & bmask]
                 junk_idx[t] += 1
                 tidx = -1
                 flags = FL_WRONGPATH
                 wrongpath_count += 1
             else:
                 tidx = fetch_idx[t]
-                e = entries[tidx % length]
+                j = tidx % length
+                blk = eblocks[j >> bshift]
+                if blk is None:
+                    blk = entry_block(j >> bshift)
+                e = blk[j & bmask]
                 fetch_idx[t] = tidx + 1
                 flags = 0
             op = e[0]
             if op == OP_BRANCH or op == OP_CALL or op == OP_RETURN:
                 actual_taken = bool(e[5])
                 if tidx >= 0:
-                    actual_target = entries[(tidx + 1) % length][6]
+                    j = (tidx + 1) % length
+                    blk = eblocks[j >> bshift]
+                    if blk is None:
+                        blk = entry_block(j >> bshift)
+                    actual_target = blk[j & bmask][6]
                 else:
                     actual_target = e[6] + 4
                 pred = predict(t, e[6], op, actual_taken, actual_target)

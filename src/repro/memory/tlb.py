@@ -27,6 +27,7 @@ class TranslationBuffer:
         "page_bytes",
         "_page_shift",
         "_map",
+        "_shared",
         "_last",
         "accesses",
         "misses",
@@ -45,6 +46,10 @@ class TranslationBuffer:
         self.page_bytes = page_bytes
         self._page_shift = page_bytes.bit_length() - 1
         self._map: "OrderedDict[int, bool]" = OrderedDict()
+        #: True while ``_map`` is still the restored snapshot's own dict
+        #: (copy-on-write: the first mutating access copies it out, so
+        #: the snapshot survives however the live TLB churns afterwards).
+        self._shared = False
         #: the current MRU key — repeated translations of the same page
         #: (the common case: sequential fetch) skip the OrderedDict churn
         self._last: "int | None" = None
@@ -57,6 +62,9 @@ class TranslationBuffer:
         self.accesses += 1
         if key == self._last:  # already MRU: move_to_end would be a no-op
             return True
+        if self._shared:  # first mutating access after a restore
+            self._map = OrderedDict(self._map)
+            self._shared = False
         m = self._map
         if key in m:
             m.move_to_end(key)
@@ -75,6 +83,9 @@ class TranslationBuffer:
         once — bit-identical final state."""
         shift = self._page_shift
         tbits = thread << self._THREAD_SHIFT
+        if self._shared:  # warm streams always mutate: copy out up front
+            self._map = OrderedDict(self._map)
+            self._shared = False
         m = self._map
         last = self._last
         capacity = self.entries
@@ -105,15 +116,23 @@ class TranslationBuffer:
         return (OrderedDict(self._map), self._last, self.accesses, self.misses)
 
     def load_state(self, snap: tuple) -> None:
-        """Restore a :meth:`dump_state` snapshot."""
+        """Restore a :meth:`dump_state` snapshot, copy-on-write: the
+        snapshot's dict is adopted shared and the first mutating access
+        copies it out, so restore itself is O(1) and the snapshot can
+        never alias post-restore churn."""
         m, last, accesses, misses = snap
-        self._map = OrderedDict(m)
+        self._map = m
+        self._shared = True
         self._last = last
         self.accesses = accesses
         self.misses = misses
 
     def invalidate_all(self) -> None:
-        self._map.clear()
+        if self._shared:
+            self._map = OrderedDict()
+            self._shared = False
+        else:
+            self._map.clear()
         self._last = None
 
     def reset_stats(self) -> None:
@@ -123,6 +142,9 @@ class TranslationBuffer:
 
     def invalidate_thread(self, thread: int) -> None:
         """Drop one thread's translations (context switch)."""
+        if self._shared:
+            self._map = OrderedDict(self._map)
+            self._shared = False
         shift = self._THREAD_SHIFT
         stale = [k for k in self._map if k >> shift == thread]
         for k in stale:

@@ -15,6 +15,19 @@ bottom of the ranking and discards the middle — the argmax/argmin are
 overwhelmingly likely to stay in their tail at every width, which the
 reference-scenario equivalence test pins.
 
+Pruning rounds rank by per-round *marginal* IPC — instructions committed
+and cycles elapsed since the candidate's previous checkpoint, free from
+the checkpoints the ladder keeps anyway. On the synthetic traces the
+early window is phase-heavy, so cumulative IPC drags every later
+ranking toward the (shared) start-up transient; the marginal ranking
+sees only the fresh window each round and tracks full-window rank
+better, which is what lets the ladder prune harder (a smaller ``keep``)
+without disturbing the selected extremes. The *final* round always
+scores by cumulative full-window IPC, so selection and reported scores
+remain exactly what the exact screen produces for those candidates
+(:mod:`tests.experiments.test_screening_equivalence` pins this on the
+reference scenario).
+
 :class:`HalvingScreen` only *plans*; :class:`ScreenJob` executes a whole
 ladder for one (configuration, workload) pair inside one worker, keeping
 survivors' :class:`~repro.core.processor.Processor` objects alive between
@@ -58,6 +71,11 @@ class HalvingScreen:
     keep:
         Fraction of survivors kept per pruning step (split between the
         top and bottom of the ranking).
+    top_fraction:
+        Share of each kept cohort taken from the *top* of the ranking
+        (the rest comes from the bottom). The oracle's argmax is the
+        contract-pinned selection, so the sweep biases survival toward
+        the top tail; ``0.5`` reproduces the symmetric split.
     min_survivors:
         Pruning floor — once reached, the plan jumps straight to the
         final round.
@@ -72,6 +90,7 @@ class HalvingScreen:
         *,
         rounds: int = 4,
         keep: float = 0.5,
+        top_fraction: float = 0.5,
         min_survivors: int = 3,
         min_target: int = 150,
     ) -> None:
@@ -81,6 +100,8 @@ class HalvingScreen:
             raise ValueError("rounds must be >= 1")
         if not 0.0 < keep <= 1.0:
             raise ValueError("keep must be in (0, 1]")
+        if not 0.0 < top_fraction <= 1.0:
+            raise ValueError("top_fraction must be in (0, 1]")
         ladder: List[int] = []
         for r in range(rounds):
             target = max(min_target, final_target >> (rounds - 1 - r))
@@ -90,6 +111,7 @@ class HalvingScreen:
         self.targets = ladder
         self.survivors: List[Mapping] = list(dict.fromkeys(candidates))
         self.keep = keep
+        self.top_fraction = top_fraction
         self.min_survivors = min_survivors
         self._round = 0
         self.finished = False
@@ -110,11 +132,14 @@ class HalvingScreen:
         return self._round == len(self.targets) - 1
 
     def feed(self, scores: Dict[Mapping, float]) -> None:
-        """Consume the current round's ``mapping -> ipc`` scores.
+        """Consume the current round's ``mapping -> score`` ranking.
 
         Non-final rounds prune to the ranking's two tails and advance the
         ladder; the final round freezes the scores :meth:`best` /
-        :meth:`worst` select from.
+        :meth:`worst` select from. The planner is metric-agnostic:
+        :class:`ScreenJob` feeds per-round *marginal* IPC on pruning
+        rounds and cumulative full-window IPC on the final round, so
+        selection ties break exactly as the exact screen's did.
         """
         if self.finished:
             raise RuntimeError("screen already finished")
@@ -132,7 +157,12 @@ class HalvingScreen:
         if k >= len(order):
             self.survivors = order
         else:
-            top = ceil(k / 2)
+            # The oracle needs *both* extremes: however top-biased the
+            # split, at least one bottom-tail candidate must survive to
+            # the final round or worst() degenerates to a top mapping.
+            top = ceil(k * self.top_fraction)
+            if top >= k and k > 1:
+                top = k - 1
             bottom = k - top
             self.survivors = order[:top] + (order[-bottom:] if bottom else [])
         self._round += 1
@@ -209,6 +239,11 @@ class ScreenJob:
     produced for the surviving candidates — successive halving then costs
     ``sum(round widths)`` instead of ``rounds × full width``.
 
+    The checkpoints double as the marginal-IPC bookkeeping: pruning
+    rounds rank survivors by ``Δcommitted / Δcycles`` since their last
+    checkpoint (no extra simulation — the deltas fall out of state the
+    job already holds), while the final round scores cumulatively.
+
     With ``rounds=1`` this is exact screening: every candidate runs the
     full window from scratch, no checkpoint retained.
 
@@ -227,6 +262,7 @@ class ScreenJob:
     final_target: int
     rounds: int = 1
     keep: float = 0.5
+    top_fraction: float = 0.5
     min_survivors: int = 3
     min_target: int = 150
     trace_length: Optional[int] = None
@@ -253,17 +289,23 @@ class ScreenJob:
             self.final_target,
             rounds=self.rounds,
             keep=self.keep,
+            top_fraction=self.top_fraction,
             min_survivors=self.min_survivors,
             min_target=self.min_target,
         )
         checkpoints: Dict[Mapping, Processor] = {}
+        #: per-mapping (cycles, committed) at the previous checkpoint —
+        #: the basis of the pruning rounds' marginal-IPC ranking.
+        progress: Dict[Mapping, Tuple[int, int]] = {}
         while not screen.finished:
             target = screen.round_target
-            keep_procs = not screen.is_final_round or self.full_target is not None
+            final_round = screen.is_final_round
+            keep_procs = not final_round or self.full_target is not None
             scores: Dict[Mapping, float] = {}
             for m in screen.survivors:
                 proc = checkpoints.pop(m, None)
                 if proc is None:
+                    prev_cycles = prev_committed = 0
                     proc = Processor(config, traces, m, target)
                     proc.warm()
                     # Steady-state measurement, as run_simulation does —
@@ -273,12 +315,27 @@ class ScreenJob:
                 else:
                     # Continue the checkpointed run to the wider window —
                     # deterministic, so identical to a fresh longer run.
+                    prev_cycles, prev_committed = progress[m]
                     proc.commit_target = target
                     proc.finished = False
                 proc.run()
-                scores[m] = proc.aggregate_ipc()
+                if final_round:
+                    # Selection + reported scores: cumulative full-window
+                    # IPC, bit-equal to the exact screen's score.
+                    scores[m] = proc.aggregate_ipc()
+                else:
+                    # Pruning: IPC over this round's fresh window only
+                    # (for round 0 the two coincide exactly).
+                    d_cycles = proc.cycle - prev_cycles
+                    d_committed = sum(proc.committed) - prev_committed
+                    scores[m] = (
+                        d_committed / d_cycles
+                        if d_cycles
+                        else proc.aggregate_ipc()
+                    )
                 if keep_procs:
                     checkpoints[m] = proc
+                    progress[m] = (proc.cycle, sum(proc.committed))
             screen.feed(scores)
             if not screen.finished:
                 alive = set(screen.survivors)
@@ -342,12 +399,17 @@ class ScreenJob:
         config = self.config if isinstance(self.config, str) else repr(self.config)
         return {
             "kind": "screen",
+            # Ranking-semantics salt: marginal-IPC pruning rounds (this
+            # PR) can keep different survivors than cumulative ranking
+            # did, so cached results from either regime must not alias.
+            "ranking": "marginal-v1",
             "config": config,
             "benchmarks": list(self.benchmarks),
             "candidates": [list(m) for m in self.candidates],
             "final_target": self.final_target,
             "rounds": self.rounds,
             "keep": self.keep,
+            "top_fraction": self.top_fraction,
             "min_survivors": self.min_survivors,
             "min_target": self.min_target,
             "trace_length": self.trace_length,

@@ -29,6 +29,9 @@ from repro.trace.packed import (
     WarmSequences,
 )
 from repro.trace.stream import (
+    FETCH_BLOCK,
+    FETCH_MASK,
+    FETCH_SHIFT,
     Trace,
     trace_for,
     clear_trace_cache,
@@ -52,6 +55,9 @@ __all__ = [
     "PackedTrace",
     "PackedTraceStore",
     "WarmSequences",
+    "FETCH_BLOCK",
+    "FETCH_MASK",
+    "FETCH_SHIFT",
     "Trace",
     "trace_for",
     "clear_trace_cache",

@@ -17,8 +17,18 @@ cache misses from the store's mmap-backed packed buffers before falling
 back to :class:`~repro.trace.synthetic.TraceGenerator` — this is how
 BatchRunner workers skip trace generation entirely. Store-served traces
 are *packed-backed*: ``Trace.entry`` reads straight out of the shared
-buffers (zero copy), and the full tuple lists materialize lazily only
-when the simulator's fetch loop first needs them.
+buffers (zero copy).
+
+The simulator's fetch engine reads traces through :meth:`Trace.
+fetch_view`: per-trace block tables whose :data:`FETCH_BLOCK`-entry
+blocks decode lazily from the packed int64 columns (or slice out of the
+explicit tuple lists) the first time fetch touches them. A short
+screening run on a store-served trace therefore decodes only the prefix
+it actually fetches — the full tuple lists never materialize — while a
+full-length run amortizes exactly one decode per block and keeps
+list-indexed access speed in the hot loop. Decoded blocks are cached on
+the Trace, so the oracle sweeps that re-simulate one workload dozens of
+times decode each block once per process.
 """
 
 from __future__ import annotations
@@ -32,12 +42,23 @@ from repro.trace.packed import PackedTrace, PackedTraceStore, WarmSequences, war
 from repro.trace.synthetic import StaticProgram, TraceGenerator
 
 __all__ = [
+    "FETCH_BLOCK",
+    "FETCH_MASK",
+    "FETCH_SHIFT",
     "Trace",
     "trace_for",
     "clear_trace_cache",
     "set_trace_store",
     "active_trace_store",
 ]
+
+#: Fetch-view block geometry: the fetch engine addresses trace entries as
+#: ``blocks[index >> FETCH_SHIFT][index & FETCH_MASK]``. 1024 entries per
+#: block keeps the decode batch big enough for C-speed ``zip`` transposes
+#: while a 150-commit screening window still touches only one block.
+FETCH_SHIFT = 10
+FETCH_BLOCK = 1 << FETCH_SHIFT
+FETCH_MASK = FETCH_BLOCK - 1
 
 
 class Trace:
@@ -50,7 +71,8 @@ class Trace:
     """
 
     __slots__ = ("name", "profile", "length", "junk_length", "packed", "key",
-                 "_entries", "_junk", "_warm_seqs")
+                 "_entries", "_junk", "_warm_seqs", "_entry_blocks",
+                 "_junk_blocks")
 
     def __init__(
         self,
@@ -80,6 +102,8 @@ class Trace:
         self._entries = entries
         self._junk = junk
         self._warm_seqs: Optional[WarmSequences] = None
+        self._entry_blocks: Optional[List[Optional[List[TraceEntry]]]] = None
+        self._junk_blocks: Optional[List[Optional[List[TraceEntry]]]] = None
 
     # -- lazy materialization ---------------------------------------------
 
@@ -125,6 +149,61 @@ class Trace:
         if j is not None:
             return j[index % self.junk_length]
         return self.packed.junk_entry(index % self.junk_length)
+
+    # -- column-backed fetch views -----------------------------------------
+
+    def fetch_view(self) -> Tuple[list, list]:
+        """``(entry_blocks, junk_blocks)`` block tables for the fetch
+        engine: entry ``i`` lives at ``entry_blocks[i >> FETCH_SHIFT]
+        [i & FETCH_MASK]``. Slots start ``None`` and fill via
+        :meth:`entry_block` / :meth:`junk_block` the first time fetch
+        touches them — no full-trace tuple-list materialization.
+        """
+        blocks = self._entry_blocks
+        if blocks is None:
+            blocks = [None] * ((self.length + FETCH_MASK) >> FETCH_SHIFT)
+            self._entry_blocks = blocks
+            self._junk_blocks = [None] * (
+                (self.junk_length + FETCH_MASK) >> FETCH_SHIFT
+            )
+        return blocks, self._junk_blocks
+
+    def entry_block(self, block: int) -> List[TraceEntry]:
+        """Decode (and cache) correct-path block ``block``: an exact
+        tuple-for-tuple window of the stream, built by one C-speed
+        ``zip`` transpose of the packed int64 column slices (or sliced
+        straight out of the explicit tuple list when one exists)."""
+        if self._entry_blocks is None:
+            self.fetch_view()
+        lo = block << FETCH_SHIFT
+        hi = lo + FETCH_BLOCK
+        e = self._entries
+        if e is not None:
+            blk = e[lo:hi]
+        else:
+            c = self.packed.columns
+            blk = list(zip(c[0][lo:hi], c[1][lo:hi], c[2][lo:hi],
+                           c[3][lo:hi], c[4][lo:hi], c[5][lo:hi],
+                           c[6][lo:hi]))
+        self._entry_blocks[block] = blk
+        return blk
+
+    def junk_block(self, block: int) -> List[TraceEntry]:
+        """Decode (and cache) wrong-path pool block ``block``."""
+        if self._junk_blocks is None:
+            self.fetch_view()
+        lo = block << FETCH_SHIFT
+        hi = lo + FETCH_BLOCK
+        j = self._junk
+        if j is not None:
+            blk = j[lo:hi]
+        else:
+            c = self.packed.junk_columns
+            blk = list(zip(c[0][lo:hi], c[1][lo:hi], c[2][lo:hi],
+                           c[3][lo:hi], c[4][lo:hi], c[5][lo:hi],
+                           c[6][lo:hi]))
+        self._junk_blocks[block] = blk
+        return blk
 
     # -- derived views -----------------------------------------------------
 

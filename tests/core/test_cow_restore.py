@@ -1,0 +1,176 @@
+"""Copy-on-write warm-snapshot restores must never alias mutated state.
+
+Caches restore copy-on-write since PR 2; this PR extends the scheme to
+the perceptron, BTB and TLB. The contract for every structure:
+
+* ``load_state`` is cheap (it adopts, rather than copies, the snapshot's
+  payload), and
+* no amount of post-restore mutation — training, installs, LRU churn,
+  invalidations — may leak back into the snapshot or into a sibling
+  restored from the same snapshot.
+
+Each test restores *two* instances from *one* snapshot, hammers one, and
+asserts both the snapshot and the untouched sibling still dump the
+original state bit-for-bit.
+"""
+
+import copy
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.perceptron import PerceptronPredictor
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.tlb import TranslationBuffer
+
+
+def _pcs(n, stride=4, base=0x40_0000):
+    return [base + stride * i for i in range(n)]
+
+
+# ----------------------------------------------------------------- helpers
+
+
+def _train_perceptron(p, n=2000, thread=0, phase=0):
+    for i, pc in enumerate(_pcs(n, base=0x40_0000 + phase)):
+        p.update(thread, pc, (i * 2654435761 + phase) % 3 == 0)
+
+
+def _populate_btb(b, n=600, thread=0, phase=0):
+    for i, pc in enumerate(_pcs(n, base=0x40_0000 + phase)):
+        b.update(thread, pc, pc + 4 * ((i % 7) + 1))
+        b.lookup(thread, pc - 4 * (i % 5))
+
+
+def _churn_tlb(t, n=3000, thread=0, phase=0):
+    for i in range(n):
+        t.access(0x1000_0000 + phase + (i * 8192 * 3) % (500 * 8192), thread)
+
+
+def _assert_cow(make, mutate):
+    """The shared scheme: snapshot → restore twice → mutate one."""
+    origin = make()
+    snap = origin.dump_state()
+    frozen = copy.deepcopy(snap)  # independent record of the snapshot
+
+    a, b = make(), make()
+    a.load_state(snap)
+    b.load_state(snap)
+    mutate(a)
+
+    assert snap == frozen, "mutation leaked into the snapshot"
+    assert b.dump_state() == frozen, "mutation aliased a sibling restore"
+    # A fresh restore from the same snapshot still sees the original.
+    c = make()
+    c.load_state(snap)
+    assert c.dump_state() == frozen
+
+
+# ------------------------------------------------------------------- tests
+
+
+def test_perceptron_restore_does_not_alias_training():
+    def make():
+        p = PerceptronPredictor()
+        _train_perceptron(p, 1500)
+        return p
+
+    _assert_cow(make, lambda p: _train_perceptron(p, 3000, thread=1, phase=64))
+
+
+def test_perceptron_reset_thread_does_not_alias():
+    p = PerceptronPredictor()
+    _train_perceptron(p, 500)
+    snap = p.dump_state()
+    frozen = copy.deepcopy(snap)
+    q = PerceptronPredictor()
+    q.load_state(snap)
+    q.reset_thread(0)
+    assert snap == frozen
+
+
+def test_btb_restore_does_not_alias_installs():
+    def make():
+        b = BranchTargetBuffer()
+        _populate_btb(b, 500)
+        return b
+
+    _assert_cow(make, lambda b: _populate_btb(b, 1200, thread=2, phase=128))
+
+
+def test_btb_lookup_mru_move_does_not_alias():
+    """Even a read path (lookup's MRU move) mutates recency order and
+    must copy the set out of the shared base first."""
+    b = BranchTargetBuffer()
+    _populate_btb(b, 400)
+    snap = b.dump_state()
+    frozen = copy.deepcopy(snap)
+    r = BranchTargetBuffer()
+    r.load_state(snap)
+    for pc in _pcs(400):
+        r.lookup(0, pc)
+    assert snap == frozen
+
+
+def test_tlb_restore_does_not_alias_churn():
+    def make():
+        t = TranslationBuffer(entries=128)
+        _churn_tlb(t, 2000)
+        return t
+
+    _assert_cow(make, lambda t: _churn_tlb(t, 4000, thread=3, phase=4096))
+
+
+def test_tlb_invalidations_do_not_alias():
+    t = TranslationBuffer(entries=64)
+    _churn_tlb(t, 500)
+    snap = t.dump_state()
+    frozen = copy.deepcopy(snap)
+
+    r = TranslationBuffer(entries=64)
+    r.load_state(snap)
+    r.invalidate_thread(0)
+    assert snap == frozen
+
+    r.load_state(snap)
+    r.invalidate_all()
+    assert snap == frozen
+    assert len(r) == 0
+
+
+def test_cache_restore_does_not_alias_fills():
+    """The PR 2 precedent, pinned alongside the new structures."""
+
+    def make():
+        c = SetAssociativeCache(32 * 1024, 2, name="cow")
+        for i in range(4000):
+            c.access((i * 2654435761) % (1 << 22))
+        return c
+
+    def mutate(c):
+        for i in range(6000):
+            c.access((i * 40503) % (1 << 22), thread=1)
+
+    _assert_cow(make, mutate)
+
+
+def test_restored_structures_behave_identically_to_eager_copies():
+    """Behavioural equivalence: a COW-restored structure must produce
+    exactly the same outcome stream as one rebuilt from deep copies."""
+    p = PerceptronPredictor()
+    _train_perceptron(p, 1000)
+    snap = p.dump_state()
+
+    a = PerceptronPredictor()
+    a.load_state(snap)
+    b = PerceptronPredictor()
+    b.load_state(copy.deepcopy(snap))
+
+    outcomes_a = []
+    outcomes_b = []
+    for i, pc in enumerate(_pcs(3000)):
+        taken = (i * 2654435761) % 5 < 2
+        outcomes_a.append(a.predict(0, pc))
+        a.update(0, pc, taken)
+        outcomes_b.append(b.predict(0, pc))
+        b.update(0, pc, taken)
+    assert outcomes_a == outcomes_b
+    assert a.dump_state() == b.dump_state()

@@ -145,13 +145,14 @@ def _observable_state(proc: Processor) -> dict:
         ("2M4+2M2", ("gzip", "mcf"), (0, 2)),
     ],
 )
-def test_idle_skip_equals_pure_stepping(config_name, benchmarks, mapping):
+def test_idle_skip_equals_pure_stepping(config_name, benchmarks, mapping,
+                                        tiny_traces):
     """run() (with idle-cycle skipping) must match a pure step() loop."""
     cfg = get_config(config_name)
 
     def build():
-        traces = [trace_for(b, 3000) for b in benchmarks]
-        return Processor(cfg, traces, mapping, commit_target=1200)
+        return Processor(cfg, tiny_traces(benchmarks, 3000), mapping,
+                         commit_target=1200)
 
     fast = build()
     fast.warm()
@@ -166,34 +167,70 @@ def test_idle_skip_equals_pure_stepping(config_name, benchmarks, mapping):
     assert _observable_state(fast) == _observable_state(slow)
 
 
-def test_max_cycles_cap_not_overshot_by_idle_skip():
+def test_max_cycles_cap_not_overshot_by_idle_skip(tiny_traces):
     """Regression (idle-skip jumps must clamp to the safety cap): a run
     that cannot reach its commit target stops at *exactly* max_cycles,
     as the seed's one-cycle-at-a-time loop did."""
     cfg = get_config("M8")  # FLUSH policy: long fully-idle stretches
     cap = 777
 
-    traces = [trace_for(b, 2000) for b in ("mcf", "twolf")]
-    proc = Processor(cfg, traces, (0, 0), commit_target=10**9)
+    proc = Processor(cfg, tiny_traces(("mcf", "twolf"), 2000), (0, 0),
+                     commit_target=10**9)
     proc.warm()
     returned = proc.run(max_cycles=cap)
     assert returned == proc.cycle == cap
     assert not proc.finished
 
     # And the capped fast run matches a capped pure-step run exactly.
-    slow = Processor(cfg, [trace_for(b, 2000) for b in ("mcf", "twolf")],
-                     (0, 0), commit_target=10**9)
+    slow = Processor(cfg, tiny_traces(("mcf", "twolf"), 2000), (0, 0),
+                     commit_target=10**9)
     slow.warm()
     while not slow.finished and slow.cycle < cap:
         slow.step()
     assert _observable_state(proc) == _observable_state(slow)
 
 
-def test_default_cap_accounts_for_skipped_cycles():
+def test_default_cap_accounts_for_skipped_cycles(tiny_traces):
     """run() without an explicit cap still honours 400*target + 10_000."""
     cfg = get_config("M8")
-    traces = [trace_for("mcf", 1500)]
-    proc = Processor(cfg, traces, (0,), commit_target=10)
+    proc = Processor(cfg, tiny_traces(("mcf",), 1500), (0,), commit_target=10)
     proc.warm()
     proc.run()
     assert proc.cycle <= 400 * 10 + 10_000
+
+
+@pytest.mark.parametrize(
+    "benchmarks, mapping, target",
+    [
+        (("mcf", "twolf"), (0, 0), 1200),
+        (("gzip", "twolf", "bzip2", "mcf"), (0, 0, 0, 0), 1000),
+        # Six threads overcommit M8's contexts: threads-per-cycle binds
+        # in rename, the rotor wraps a longer thread list.
+        (("gzip", "gcc", "crafty", "eon", "gap", "bzip2"),
+         (0,) * 6, 800),
+    ],
+)
+def test_mono_stages_equal_generic_stages(benchmarks, mapping, target,
+                                          tiny_traces):
+    """The specialized single-pipeline commit/fetch stages must be
+    indistinguishable from the generic stages they shadow. _commit_mono
+    and _fetch_mono are deliberate hot-path copies of _commit/_fetch
+    with the pipeline loop collapsed — this test is the contract that
+    keeps the copies honest: any semantic fix applied to one but not
+    the other diverges here immediately."""
+    cfg = get_config("M8")
+
+    mono = Processor(cfg, tiny_traces(benchmarks, 3000), mapping, target)
+    assert mono._commit_impl.__func__ is Processor._commit_mono
+    assert mono._fetch_impl.__func__ is Processor._fetch_mono
+    mono.warm()
+    mono.run()
+
+    generic = Processor(cfg, tiny_traces(benchmarks, 3000), mapping, target)
+    # Force the generic multi-pipeline stages onto the same machine.
+    generic._commit_impl = generic._commit
+    generic._fetch_impl = generic._fetch
+    generic.warm()
+    generic.run()
+
+    assert _observable_state(mono) == _observable_state(generic)

@@ -12,29 +12,26 @@ from repro.core.models import M2, M8
 from repro.core.processor import Processor, S_FREE
 from repro.isa.opcodes import OP_BRANCH, OP_INT, OP_LOAD, OP_MUL, OP_STORE
 from repro.isa.registers import REG_NONE
-from repro.trace.benchmarks import get_benchmark
-from repro.trace.stream import Trace
 
 
-PROF = get_benchmark("gzip")
-JUNK = [(OP_INT, 1 + (i % 8), REG_NONE, REG_NONE, 0, 0, 0x70_0000 + 4 * (i % 64)) for i in range(64)]
+@pytest.fixture
+def run_m8(hand_trace):
+    """Run one hand-built trace on the M8 baseline (shared hand_trace
+    factory from tests/conftest.py)."""
 
+    def run(entries, target, warm=True, **cfg_kw):
+        cfg = get_config("M8")
+        if cfg_kw:
+            from dataclasses import replace
 
-def make_trace(entries):
-    return Trace("hand", PROF, entries, JUNK)
+            cfg = replace(cfg, **cfg_kw)
+        proc = Processor(cfg, [hand_trace(entries)], (0,), target)
+        if warm:
+            proc.warm()
+        proc.run()
+        return proc
 
-
-def run_m8(entries, target, warm=True, **cfg_kw):
-    cfg = get_config("M8")
-    if cfg_kw:
-        from dataclasses import replace
-
-        cfg = replace(cfg, **cfg_kw)
-    proc = Processor(cfg, [make_trace(entries)], (0,), target)
-    if warm:
-        proc.warm()
-    proc.run()
-    return proc
+    return run
 
 
 def seq_ints(n, independent=True):
@@ -48,25 +45,25 @@ def seq_ints(n, independent=True):
     return out
 
 
-def test_independent_ints_limited_by_int_units():
+def test_independent_ints_limited_by_int_units(run_m8):
     proc = run_m8(seq_ints(4000), 3000)
     # M8 has 6 integer units; IPC must be ~6, never above.
     assert 5.0 < proc.aggregate_ipc() <= 6.0
 
 
-def test_serial_chain_one_per_cycle():
+def test_serial_chain_one_per_cycle(run_m8):
     proc = run_m8(seq_ints(4000, independent=False), 3000)
     assert proc.aggregate_ipc() == pytest.approx(1.0, abs=0.05)
 
 
-def test_mul_latency_slows_chain():
+def test_mul_latency_slows_chain(run_m8):
     entries = [(OP_MUL, 1, 1, REG_NONE, 0, 0, 0x40_0000 + 4 * i) for i in range(2000)]
     proc = run_m8(entries, 1000)
     # 3-cycle multiply chain: 1/3 IPC.
     assert proc.aggregate_ipc() == pytest.approx(1 / 3, abs=0.03)
 
 
-def test_register_latency_tax():
+def test_register_latency_tax(run_m8, hand_trace):
     """reg_latency=2 adds one cycle of result visibility per dependent
     edge: a serial chain halves its throughput."""
     from dataclasses import replace
@@ -75,14 +72,14 @@ def test_register_latency_tax():
     base = run_m8(chain, 1000)
     cfg = get_config("M8")
     taxed_cfg = replace(cfg, params=replace(cfg.params, reg_latency=2))
-    proc = Processor(taxed_cfg, [make_trace(chain)], (0,), 1000)
+    proc = Processor(taxed_cfg, [hand_trace(chain)], (0,), 1000)
     proc.warm()
     proc.run()
     assert base.aggregate_ipc() == pytest.approx(1.0, abs=0.05)
     assert proc.aggregate_ipc() == pytest.approx(1 / 2, abs=0.03)
 
 
-def test_load_hit_latency_chain():
+def test_load_hit_latency_chain(run_m8):
     """Chained L1-hit loads: one every l1_latency cycles."""
     entries = [
         (OP_LOAD, 1, 1, REG_NONE, 0x1000_0000, 0, 0x40_0000 + 4 * i) for i in range(2000)
@@ -91,7 +88,7 @@ def test_load_hit_latency_chain():
     assert proc.aggregate_ipc() == pytest.approx(1 / 3, abs=0.04)
 
 
-def test_store_retires_through_cache():
+def test_store_retires_through_cache(run_m8):
     entries = []
     for i in range(1000):
         entries.append((OP_STORE, REG_NONE, 1, 2, 0x1000_0000 + (i % 64) * 64, 0, 0x40_0000 + 4 * i))
@@ -99,7 +96,7 @@ def test_store_retires_through_cache():
     assert proc.mem.l1d.stats.accesses >= 500
 
 
-def test_commit_in_order_and_complete():
+def test_commit_in_order_and_complete(run_m8):
     proc = run_m8(seq_ints(3000), 2000)
     assert proc.committed[0] >= 2000
     # After the run, every ROB slot between head and tail is consistent.
@@ -108,7 +105,7 @@ def test_commit_in_order_and_complete():
     assert 0 <= n_inflight <= proc.rob_entries
 
 
-def test_mispredict_squashes_and_redirects():
+def test_mispredict_squashes_and_redirects(run_m8):
     # Alternating branch (learnable) followed by a random-ish pattern the
     # predictor cannot know at first: check wrong-path stats appear.
     entries = []
@@ -122,7 +119,7 @@ def test_mispredict_squashes_and_redirects():
     assert proc.committed[0] >= 800
 
 
-def test_flush_triggers_on_l2_miss_loads():
+def test_flush_triggers_on_l2_miss_loads(run_m8):
     """mcf-like pointer chase on the FLUSH baseline must flush."""
     entries = []
     for i in range(3000):
@@ -132,7 +129,7 @@ def test_flush_triggers_on_l2_miss_loads():
     assert sum(proc.stat_flushes) > 0
 
 
-def test_no_flush_on_l1mcount_policy():
+def test_no_flush_on_l1mcount_policy(hand_trace):
     entries = []
     for i in range(2000):
         addr = 0x1000_0000 + (i * 8192 * 7) % (512 * 8192)
@@ -140,28 +137,28 @@ def test_no_flush_on_l1mcount_policy():
     cfg = MicroarchConfig(
         name="m8-l1m", pipelines=(M8,), fetch_policy="l1mcount", params=BaselineParams()
     )
-    proc = Processor(cfg, [make_trace(entries)], (0,), 200)
+    proc = Processor(cfg, [hand_trace(entries)], (0,), 200)
     proc.run()
     assert sum(proc.stat_flushes) == 0
 
 
-def test_narrow_pipeline_caps_throughput():
+def test_narrow_pipeline_caps_throughput(hand_trace):
     cfg = MicroarchConfig(
         name="1M2",
         pipelines=(M2,),
         fetch_policy="l1mcount",
         params=BaselineParams(reg_latency=2),
     )
-    proc = Processor(cfg, [make_trace(seq_ints(4000))], (0,), 2000)
+    proc = Processor(cfg, [hand_trace(seq_ints(4000))], (0,), 2000)
     proc.warm()
     proc.run()
     # Width 2, one int unit: IPC <= 1 for pure INT work.
     assert proc.aggregate_ipc() <= 1.01
 
 
-def test_mapping_validation():
+def test_mapping_validation(hand_trace):
     cfg = get_config("2M4+2M2")
-    tr = make_trace(seq_ints(100))
+    tr = hand_trace(seq_ints(100))
     with pytest.raises(ValueError):
         Processor(cfg, [tr, tr, tr], (2, 2, 2), 50)  # M2 has 1 context
     with pytest.raises(ValueError):
@@ -170,27 +167,27 @@ def test_mapping_validation():
         Processor(cfg, [], (), 50)
 
 
-def test_m8_context_overcommit_six_threads():
+def test_m8_context_overcommit_six_threads(hand_trace):
     cfg = get_config("M8")
-    trs = [make_trace(seq_ints(500)) for _ in range(6)]
+    trs = [hand_trace(seq_ints(500)) for _ in range(6)]
     proc = Processor(cfg, trs, (0,) * 6, 100)
     proc.run()
     assert sum(proc.committed) >= 100
 
 
-def test_fetch_limited_to_8_per_cycle():
+def test_fetch_limited_to_8_per_cycle(run_m8):
     proc = run_m8(seq_ints(4000), 2000)
     assert max(proc.stat_fetched) <= 8 * proc.cycle
 
 
-def test_max_cycles_safety_net():
-    proc = Processor(get_config("M8"), [make_trace(seq_ints(100))], (0,), 10**9)
+def test_max_cycles_safety_net(hand_trace):
+    proc = Processor(get_config("M8"), [hand_trace(seq_ints(100))], (0,), 10**9)
     cycles = proc.run(max_cycles=50)
     assert cycles == 50
     assert not proc.finished
 
 
-def test_phys_reg_conservation_after_run():
+def test_phys_reg_conservation_after_run(run_m8):
     proc = run_m8(seq_ints(4000), 2000)
     # Free + held-by-in-flight must equal the pool size.
     held = 0

@@ -6,21 +6,10 @@ from repro.core.config import get_config
 from repro.core.processor import FL_MISPRED, Processor, S_FREE
 from repro.isa.opcodes import OP_BRANCH, OP_INT, OP_LOAD
 from repro.isa.registers import REG_NONE
-from repro.trace.benchmarks import get_benchmark
-from repro.trace.stream import Trace, trace_for
-
-PROF = get_benchmark("gzip")
-JUNK = [
-    (OP_INT, 1 + (i % 8), REG_NONE, REG_NONE, 0, 0, 0x70_0000 + 4 * (i % 64))
-    for i in range(64)
-]
+from repro.trace.stream import trace_for
 
 
-def make_trace(entries):
-    return Trace("edge", PROF, entries, JUNK)
-
-
-def test_flush_then_refetch_commits_everything():
+def test_flush_then_refetch_commits_everything(hand_trace):
     """Instructions squashed by a FLUSH must be re-fetched and committed
     exactly once (commit count equals the stop target, never overshoots
     by more than a commit packet)."""
@@ -31,13 +20,13 @@ def test_flush_then_refetch_commits_everything():
             entries.append((OP_LOAD, 1, 2, REG_NONE, addr, 0, 0x40_0000 + 4 * i))
         else:
             entries.append((OP_INT, 2, 1, REG_NONE, 0, 0, 0x40_0000 + 4 * i))
-    proc = Processor(get_config("M8"), [make_trace(entries)], (0,), 600)
+    proc = Processor(get_config("M8"), [hand_trace(entries)], (0,), 600)
     proc.run()
     assert sum(proc.stat_flushes) > 0
     assert 600 <= proc.committed[0] <= 600 + 8
 
 
-def test_mispredict_inside_fetch_packet_squashes_junk_only():
+def test_mispredict_inside_fetch_packet_squashes_junk_only(hand_trace):
     """Wrong-path instructions must never commit."""
     entries = []
     for i in range(3000):
@@ -48,7 +37,7 @@ def test_mispredict_inside_fetch_packet_squashes_junk_only():
             )
         else:
             entries.append((OP_INT, 1 + (i % 5), 1, REG_NONE, 0, 0, 0x40_0000 + 4 * i))
-    proc = Processor(get_config("M8"), [make_trace(entries)], (0,), 700, )
+    proc = Processor(get_config("M8"), [hand_trace(entries)], (0,), 700, )
     proc.run()
     # Committed instructions are exactly the correct-path prefix: the
     # committed count equals the fetch index progress minus in-flight.
@@ -92,13 +81,13 @@ def test_fetch_buffer_capacity_respected_under_pressure():
             break
 
 
-def test_no_stale_events_left_behind():
+def test_no_stale_events_left_behind(hand_trace):
     """Between steps, no event may sit at a cycle already processed:
     events for the *current* cycle are fine (they fire this step), but
     anything older would be a scheduling bug."""
     cfg = get_config("M8")
     entries = [(OP_INT, 1, REG_NONE, REG_NONE, 0, 0, 0x40_0000 + 4 * i) for i in range(500)]
-    proc = Processor(cfg, [make_trace(entries)], (0,), 300)
+    proc = Processor(cfg, [hand_trace(entries)], (0,), 300)
     proc.warm()
     for _ in range(200):
         cyc = proc.cycle

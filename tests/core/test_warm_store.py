@@ -24,13 +24,9 @@ GOLDEN_MAPPING = (0, 2, 1, 3)
 GOLDEN_TARGET = 2000
 
 
-@pytest.fixture(autouse=True)
-def _clean_stores():
-    yield
-    set_trace_store(None)
-    set_warm_store(None)
-    clear_trace_cache()
-    clear_warm_cache()
+# Store deactivation + cache clearing after every test comes from the
+# shared conftest fixture.
+pytestmark = pytest.mark.usefixtures("clean_sim_state")
 
 
 def _golden_run():

@@ -1,0 +1,24 @@
+"""Shared fixtures for the runner suite: the canonical small job sets
+both the BatchRunner and ResultCache tests exercise."""
+
+import pytest
+
+from repro.runner import SimJob
+
+
+@pytest.fixture(scope="session")
+def sim_jobs():
+    """A small mixed batch: monolithic + hdSMT configs, two mappings of
+    one pair (cache-key discrimination), distinct workloads."""
+    return (
+        SimJob("M8", ("gzip", "twolf"), (0, 0), 600),
+        SimJob("2M4+2M2", ("gzip", "twolf", "bzip2", "mcf"), (0, 2, 1, 3), 600),
+        SimJob("2M4+2M2", ("gzip", "twolf", "bzip2", "mcf"), (0, 1, 2, 3), 600),
+        SimJob("3M4", ("mcf", "vpr"), (0, 1), 600),
+    )
+
+
+@pytest.fixture(scope="session")
+def sim_job():
+    """One cheap job for cache-robustness tests."""
+    return SimJob("M8", ("gzip", "twolf"), (0, 0), 500)

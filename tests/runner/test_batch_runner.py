@@ -15,41 +15,34 @@ from repro.experiments.scale import ExperimentScale
 from repro.runner import BatchRunner, ResultCache, SimJob
 from repro.runner.batch import resolve_workers
 
-JOBS = [
-    SimJob("M8", ("gzip", "twolf"), (0, 0), 600),
-    SimJob("2M4+2M2", ("gzip", "twolf", "bzip2", "mcf"), (0, 2, 1, 3), 600),
-    SimJob("2M4+2M2", ("gzip", "twolf", "bzip2", "mcf"), (0, 1, 2, 3), 600),
-    SimJob("3M4", ("mcf", "vpr"), (0, 1), 600),
-]
 
-
-def test_simjob_execute_matches_run_simulation():
-    job = JOBS[0]
+def test_simjob_execute_matches_run_simulation(sim_jobs):
+    job = sim_jobs[0]
     assert job.execute() == run_simulation(
         job.config, job.benchmarks, job.mapping, job.commit_target
     )
 
 
-def test_parallel_results_equal_sequential():
+def test_parallel_results_equal_sequential(sim_jobs):
     """The core determinism contract: worker count never changes results."""
     with BatchRunner(workers=1) as seq, BatchRunner(workers=2) as par:
-        sequential = seq.run(JOBS)
-        parallel = par.run(JOBS)
+        sequential = seq.run(sim_jobs)
+        parallel = par.run(sim_jobs)
     assert parallel == sequential
-    assert [r.mapping for r in sequential] == [j.mapping for j in JOBS]
+    assert [r.mapping for r in sequential] == [j.mapping for j in sim_jobs]
 
 
-def test_runner_preserves_job_order():
+def test_runner_preserves_job_order(sim_jobs):
     with BatchRunner(workers=2) as runner:
-        results = runner.run(JOBS)
-    for job, res in zip(JOBS, results):
+        results = runner.run(sim_jobs)
+    for job, res in zip(sim_jobs, results):
         assert res.mapping == job.mapping
         assert res.benchmarks == job.benchmarks
 
 
-def test_result_cache_round_trip(tmp_path):
+def test_result_cache_round_trip(tmp_path, sim_jobs):
     cache = ResultCache(tmp_path)
-    job = JOBS[1]
+    job = sim_jobs[1]
     assert cache.get(job) is None
     result = job.execute()
     cache.put(job, result)
@@ -57,17 +50,17 @@ def test_result_cache_round_trip(tmp_path):
     assert len(cache) == 1
 
 
-def test_result_cache_distinguishes_jobs(tmp_path):
+def test_result_cache_distinguishes_jobs(tmp_path, sim_jobs):
     cache = ResultCache(tmp_path)
-    a, b = JOBS[1], JOBS[2]  # same workload, different mapping
+    a, b = sim_jobs[1], sim_jobs[2]  # same workload, different mapping
     assert ResultCache.job_key(a) != ResultCache.job_key(b)
     cache.put(a, a.execute())
     assert cache.get(b) is None
 
 
-def test_disk_cache_hits_skip_simulation(tmp_path, monkeypatch):
+def test_disk_cache_hits_skip_simulation(tmp_path, monkeypatch, sim_jobs):
     with BatchRunner(workers=1, cache_dir=tmp_path) as runner:
-        first = runner.run(JOBS[:2])
+        first = runner.run(sim_jobs[:2])
     assert len(list(tmp_path.glob("*.json"))) == 2
 
     # Second runner over the same directory must serve from disk: poison
@@ -80,13 +73,13 @@ def test_disk_cache_hits_skip_simulation(tmp_path, monkeypatch):
     monkeypatch.setattr(batch_mod, "run_simulation", boom)
     monkeypatch.setattr(SimJob, "execute", boom)
     with BatchRunner(workers=1, cache_dir=tmp_path) as runner:
-        again = runner.run(JOBS[:2])
+        again = runner.run(sim_jobs[:2])
     assert again == first
 
 
-def test_cache_payload_is_json(tmp_path):
+def test_cache_payload_is_json(tmp_path, sim_jobs):
     cache = ResultCache(tmp_path)
-    job = JOBS[0]
+    job = sim_jobs[0]
     cache.put(job, job.execute())
     path = next(tmp_path.glob("*.json"))
     payload = json.loads(path.read_text())
@@ -94,10 +87,10 @@ def test_cache_payload_is_json(tmp_path):
     assert payload["cycles"] > 0
 
 
-def test_seed_namespaces_trace_draw():
+def test_seed_namespaces_trace_draw(sim_jobs):
     """seed=N draws an alternative trace window: reproducible, distinct
     from seed 0, and distinguished in the cache key."""
-    base = JOBS[0]
+    base = sim_jobs[0]
     seeded = SimJob(base.config, base.benchmarks, base.mapping,
                     base.commit_target, seed=1)
     r0, r1, r1b = base.execute(), seeded.execute(), seeded.execute()
@@ -107,25 +100,25 @@ def test_seed_namespaces_trace_draw():
     assert ResultCache.job_key(base) != ResultCache.job_key(seeded)
 
 
-def test_explicit_trace_store_is_populated_and_results_identical(tmp_path):
+def test_explicit_trace_store_is_populated_and_results_identical(tmp_path, sim_jobs):
     """Parallel runs through a shared packed-trace store must pre-pack
     every needed trace and produce results identical to the storeless
     sequential path."""
     with BatchRunner(workers=1, trace_store=False) as plain:
-        reference = plain.run(JOBS)
+        reference = plain.run(sim_jobs)
     store_dir = tmp_path / "store"
     with BatchRunner(workers=2, trace_store=store_dir) as runner:
-        results = runner.run(JOBS)
+        results = runner.run(sim_jobs)
     assert results == reference
     assert list(store_dir.glob("*.trace"))  # parent pre-packed traces
     assert list(store_dir.glob("*.warm"))  # and warm snapshots
 
 
-def test_private_store_cleaned_up_on_close():
+def test_private_store_cleaned_up_on_close(sim_jobs):
     runner = BatchRunner(workers=2)
     store_dir = runner.store_dir
     assert store_dir is not None
-    runner.run(JOBS)
+    runner.run(sim_jobs)
     runner.close()
     import os
 

@@ -9,60 +9,59 @@ import pytest
 from repro.runner import BatchRunner, ResultCache, SimJob
 from repro.runner.screening import ScreenJob
 
-JOB = SimJob("M8", ("gzip", "twolf"), (0, 0), 500)
 
 
 def _cached_path(tmp_path, job):
     return tmp_path / f"{ResultCache.job_key(job)}.json"
 
 
-def test_truncated_cache_file_recomputes(tmp_path):
+def test_truncated_cache_file_recomputes(tmp_path, sim_job):
     cache = ResultCache(tmp_path)
-    result = JOB.execute()
-    cache.put(JOB, result)
-    path = _cached_path(tmp_path, JOB)
+    result = sim_job.execute()
+    cache.put(sim_job, result)
+    path = _cached_path(tmp_path, sim_job)
     text = path.read_text()
     path.write_text(text[: len(text) // 2])  # truncate mid-JSON
-    assert cache.get(JOB) is None  # miss, not an exception
+    assert cache.get(sim_job) is None  # miss, not an exception
     # And the standard runner flow recomputes and repairs the entry.
     with BatchRunner(workers=1, cache_dir=tmp_path) as runner:
-        again = runner.run_one(JOB)
+        again = runner.run_one(sim_job)
     assert again == result
-    assert cache.get(JOB) == result
+    assert cache.get(sim_job) == result
 
 
-def test_garbage_cache_file_recomputes(tmp_path):
+def test_garbage_cache_file_recomputes(tmp_path, sim_job):
     cache = ResultCache(tmp_path)
-    cache.put(JOB, JOB.execute())
-    _cached_path(tmp_path, JOB).write_text("ceci n'est pas du json")
-    assert cache.get(JOB) is None
+    cache.put(sim_job, sim_job.execute())
+    _cached_path(tmp_path, sim_job).write_text("ceci n'est pas du json")
+    assert cache.get(sim_job) is None
 
 
-def test_valid_json_with_missing_fields_is_a_miss(tmp_path):
+def test_valid_json_with_missing_fields_is_a_miss(tmp_path, sim_job):
     cache = ResultCache(tmp_path)
-    cache.put(JOB, JOB.execute())
-    _cached_path(tmp_path, JOB).write_text(json.dumps({"cycles": 1}))
-    assert cache.get(JOB) is None
+    cache.put(sim_job, sim_job.execute())
+    _cached_path(tmp_path, sim_job).write_text(json.dumps({"cycles": 1}))
+    assert cache.get(sim_job) is None
 
 
-def test_mistyped_payload_is_a_miss(tmp_path):
+def test_mistyped_payload_is_a_miss(tmp_path, sim_job):
     cache = ResultCache(tmp_path)
-    cache.put(JOB, JOB.execute())
-    _cached_path(tmp_path, JOB).write_text(json.dumps([1, 2, 3]))
-    assert cache.get(JOB) is None
+    cache.put(sim_job, sim_job.execute())
+    _cached_path(tmp_path, sim_job).write_text(json.dumps([1, 2, 3]))
+    assert cache.get(sim_job) is None
 
 
-def test_key_changes_when_pack_format_version_bumps(monkeypatch):
+def test_key_changes_when_pack_format_version_bumps(monkeypatch, sim_job):
     """Packed traces feed every simulation, so the result-cache key must
     incorporate the packing format version."""
     import repro.runner.cache as cache_mod
 
-    before_sim = ResultCache.job_key(JOB)
+    before_sim = ResultCache.job_key(sim_job)
     screen = ScreenJob("M8", ("gzip", "twolf"), ((0, 0),), 300)
     before_screen = ResultCache.job_key(screen)
     monkeypatch.setattr(cache_mod, "PACK_FORMAT_VERSION",
                         cache_mod.PACK_FORMAT_VERSION + 1)
-    assert ResultCache.job_key(JOB) != before_sim
+    assert ResultCache.job_key(sim_job) != before_sim
     assert ResultCache.job_key(screen) != before_screen
 
 

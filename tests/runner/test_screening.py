@@ -50,6 +50,22 @@ def test_pruning_keeps_both_tails():
                                      (0, 2), (0, 1), (0, 0)}
 
 
+def test_top_biased_pruning_always_keeps_a_bottom_survivor():
+    """However top-biased the split, the argmin lineage must reach the
+    final round: every pruning step keeps >= 1 bottom-tail candidate
+    (k=3 with top_fraction=0.67 would otherwise keep top-only)."""
+    cands = tuple((0, i) for i in range(36))
+    screen = HalvingScreen(cands, 1500, rounds=4, keep=0.35,
+                           top_fraction=0.67, min_survivors=3)
+    scores = {m: float(m[1]) for m in cands}  # rank == index, stable
+    while not screen.finished:
+        # The current overall-worst candidate must still be alive.
+        assert min(screen.survivors, key=lambda m: scores[m]) == (0, 0)
+        screen.feed({m: scores[m] for m in screen.survivors})
+    assert screen.worst() == (0, 0)
+    assert screen.best() == (0, 35)
+
+
 def test_tiny_candidate_sets_skip_straight_to_final():
     screen = HalvingScreen(CANDS[:2], 900, rounds=4, min_survivors=3)
     assert screen.is_final_round

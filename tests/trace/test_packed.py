@@ -26,13 +26,9 @@ from repro.trace.stream import (
 
 _LEN = 1500
 
-
-@pytest.fixture(autouse=True)
-def _no_store():
-    """Tests control the active store explicitly; always deactivate."""
-    yield
-    set_trace_store(None)
-    clear_trace_cache()
+# Tests control the active store explicitly; the shared conftest fixture
+# deactivates it and drops the memo caches after every test.
+pytestmark = pytest.mark.usefixtures("clean_sim_state")
 
 
 # ------------------------------------------------------------- round trips

@@ -55,3 +55,42 @@ def test_clear_cache():
     t2 = trace_for("gzip", 2000)
     assert t1 is not t2
     assert t1.entries == t2.entries  # still deterministic
+
+
+# --------------------------------------------------- column-backed fetch view
+
+
+def test_fetch_view_blocks_match_entries_for_generated_trace():
+    """Tuple-backed traces serve fetch blocks as slices of the lists."""
+    from repro.trace.stream import FETCH_BLOCK, FETCH_MASK, FETCH_SHIFT
+
+    t = trace_for("gcc", 2500)
+    eblocks, jblocks = t.fetch_view()
+    assert len(eblocks) == (2500 + FETCH_MASK) >> FETCH_SHIFT
+    assert all(b is None for b in eblocks)  # lazy until first touch
+    for i in (0, 1, FETCH_BLOCK - 1, FETCH_BLOCK, 2499):
+        blk = eblocks[i >> FETCH_SHIFT] or t.entry_block(i >> FETCH_SHIFT)
+        assert blk[i & FETCH_MASK] == t.entries[i]
+    for i in (0, len(t.junk) - 1):
+        blk = jblocks[i >> FETCH_SHIFT] or t.junk_block(i >> FETCH_SHIFT)
+        assert blk[i & FETCH_MASK] == t.junk[i]
+
+
+def test_store_served_fetch_view_never_materializes(trace_store):
+    """Store-served (mmap) traces decode fetch blocks from the packed
+    columns; the full tuple lists must never materialize."""
+    from repro.trace.stream import FETCH_MASK, FETCH_SHIFT
+
+    generated = trace_for("gcc", 1800)
+    reference = list(generated.entries)  # materialize the *generated* copy
+    assert trace_store.contains("gcc", 1800, 0, generated.junk_length)
+
+    clear_trace_cache()
+    served = trace_for("gcc", 1800)
+    assert served.packed is not None
+    for i in range(1800):
+        blk = (served._entry_blocks and
+               served._entry_blocks[i >> FETCH_SHIFT]) or \
+            served.entry_block(i >> FETCH_SHIFT)
+        assert blk[i & FETCH_MASK] == reference[i]
+    assert served._entries is None  # lazy backing held throughout
