@@ -7,20 +7,33 @@
 #
 #   make cov      tier-1 suite under pytest-cov with the CI coverage
 #                 floor (80% over src/repro); writes coverage.xml
+#   make lint     ruff check + ruff format --check over src/ tests/
+#                 benchmarks/ (the CI lint job)
+#   make perf-gate  throughput-regression tripwire: re-runs the
+#                 throughput benchmarks (REPRO_SIM_SCALE=0.1) and fails
+#                 on >25% regression vs the committed BENCH_000N baseline
 #   make ci       what the GitHub Actions workflow runs: tier-1 suite +
 #                 a smoke `figures` sweep (tiny scale, 2 workers)
 #
 # Knobs: REPRO_SIM_SCALE (window scale), REPRO_WORKERS (BatchRunner
 # processes), REPRO_RESULT_CACHE (on-disk result cache directory),
-# REPRO_TRACE_CACHE (packed trace / warm snapshot store directory).
+# REPRO_TRACE_CACHE (packed trace / warm snapshot store directory),
+# PERF_GATE_TOLERANCE (perf-gate regression threshold, default 0.25).
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test cov bench bench-throughput figures ci
+.PHONY: test cov bench bench-throughput figures ci lint perf-gate
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+lint:
+	ruff check src tests benchmarks
+	-ruff format --check src tests benchmarks  # diagnostic until the tree is formatter-clean (see ci.yml)
+
+perf-gate:
+	REPRO_SIM_SCALE=0.1 $(PYTHON) benchmarks/perf_gate.py
 
 cov:
 	$(PYTHON) -m pytest -x -q --cov=repro --cov-report=term \
@@ -38,3 +51,5 @@ figures:
 ci: test
 	REPRO_SIM_SCALE=0.1 REPRO_MAX_MAPPINGS=4 $(PYTHON) -m repro figures \
 		--jobs 2 --screening --workloads 2W4 4W6 --quiet
+	REPRO_SIM_SCALE=0.1 REPRO_MAX_MAPPINGS=4 $(PYTHON) -m repro figures \
+		--jobs 2 --workloads 2W4 4W6 --quiet

@@ -108,8 +108,8 @@ class PerceptronPredictor:
     def _inputs(self, thread: int, pc: int) -> int:
         """Concatenated (global, local) history bits as one integer."""
         g = self._global_history[thread] & self._pred_mask_global
-        l = self._local_history[self._local_index(pc)] & self._pred_mask_local
-        return (g << self.local_bits) | l
+        loc = self._local_history[self._local_index(pc)] & self._pred_mask_local
+        return (g << self.local_bits) | loc
 
     def _output(self, weights: List[int], inputs: int) -> int:
         y = weights[0]
@@ -130,8 +130,8 @@ class PerceptronPredictor:
         word = pc >> 2
         weights = self._weights[(word ^ (word >> 8)) & (self.num_perceptrons - 1)]
         g = self._global_history[thread] & self._pred_mask_global
-        l = self._local_history[word & (self.local_entries - 1)] & self._pred_mask_local
-        inputs = (g << self.local_bits) | l
+        loc = self._local_history[word & (self.local_entries - 1)] & self._pred_mask_local
+        inputs = (g << self.local_bits) | loc
         y = weights[0]
         for w in weights[1:]:
             if inputs & 1:
@@ -160,8 +160,8 @@ class PerceptronPredictor:
         weights = self._weights[idx]
         li = word & (self.local_entries - 1)
         g = self._global_history[thread] & self._pred_mask_global
-        l = self._local_history[li] & self._pred_mask_local
-        inputs = (g << self.local_bits) | l
+        loc = self._local_history[li] & self._pred_mask_local
+        inputs = (g << self.local_bits) | loc
         y = weights[0]
         bits = inputs
         for w in weights[1:]:

@@ -101,6 +101,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         progress=not args.quiet,
         workers=args.jobs,
         screening=args.screening,
+        bundle_count=args.bundles,
     )
     for cls in ("ILP", "MEM", "MIX"):
         print(fig4_table(results, cls))
@@ -147,6 +148,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for the mapping sweeps "
         "(default: REPRO_WORKERS or all cores)",
+    )
+    p_fig.add_argument(
+        "--bundles",
+        type=int,
+        default=None,
+        help="full-length continuation bundles per batch (default: the "
+        "worker count); purely a scheduling knob — results are "
+        "identical for any value",
     )
     p_fig.add_argument(
         "--screening",

@@ -20,7 +20,7 @@ import re
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Tuple
 
-from repro.core.models import MODELS_BY_NAME, PipelineModel, get_model
+from repro.core.models import PipelineModel, get_model
 from repro.memory.hierarchy import MemoryParams
 
 __all__ = [

@@ -21,7 +21,7 @@ state handoff between pipelines.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import MicroarchConfig, get_config

@@ -54,7 +54,7 @@ def mapping_contexts_ok(config: MicroarchConfig, mapping: Sequence[int]) -> bool
         loads[p] += 1
     if config.is_monolithic:
         return loads[0] <= config.contexts_for(len(mapping))
-    return all(l <= config.pipelines[i].contexts for i, l in enumerate(loads))
+    return all(n <= config.pipelines[i].contexts for i, n in enumerate(loads))
 
 
 def _pipeline_order(config: MicroarchConfig) -> List[int]:

@@ -29,7 +29,14 @@ Implementation style: per the HPC-guide discipline the per-cycle work is
 O(machine width), not O(window). Completions are events in a *ring-buffer
 timing wheel* sized to the worst-case latency (one list index to pop a
 cycle's events, no dict hashing); wakeups walk dependent lists; ready
-instructions sit in per-FU age-ordered heaps. Hot per-slot ROB state
+instructions sit in one *merged* age-ordered heap per pipeline of
+``(seq, fu_class, thread, slot)`` entries, inserted at wakeup/rename and
+consumed oldest-first at issue (entries whose FU class has no free unit
+this cycle are parked and reinserted — the selection is provably the
+age-ordered pick across per-class queues, without the per-instruction
+three-heap scan); per-cycle FU availability lives in a persistent
+per-pipeline counter vector reset in place (no per-call allocation).
+Hot per-slot ROB state
 lives in flat preallocated parallel arrays indexed ``thread * rob_entries
 + slot`` (one indexing level instead of two), bound to locals inside the
 stage loops; no per-instruction objects are allocated during simulation.
@@ -62,7 +69,6 @@ from repro.isa.opcodes import (
     OP_RETURN,
     OP_STORE,
     _FU_OF_OP,
-    fu_class,
 )
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.trace.packed import PACK_FORMAT_VERSION
@@ -246,7 +252,9 @@ class Pipeline:
         "iq_used",
         "iq_cap",
         "fu_count",
+        "fu_avail",
         "ready",
+        "ready_counts",
         "threads",
         "issued_total",
         "blocked_epoch",
@@ -263,8 +271,17 @@ class Pipeline:
         self.iq_used = [0, 0, 0]  # FU_INT, FU_FP, FU_LDST
         self.iq_cap = (model.iq_entries, model.fq_entries, model.lq_entries)
         self.fu_count = (model.int_units, model.fp_units, model.ldst_units)
-        #: per-FU-class age-ordered ready heaps of (seq, thread, slot)
-        self.ready: Tuple[List, List, List] = ([], [], [])
+        #: per-cycle FU availability, reset in place by the issue stage
+        #: (persistent — no per-call ``list(fu_count)`` allocation)
+        self.fu_avail: List[int] = [0, 0, 0]
+        #: merged age-ordered ready heap of (seq, fu_class, thread, slot)
+        self.ready: List[Tuple[int, int, int, int]] = []
+        #: live READY entries in the heap per FU class (stale entries are
+        #: excluded — squash decrements at squash time). The issue stage
+        #: stops scanning the moment no class has both a free unit and a
+        #: live entry, restoring the 3-heap stage's O(1) early-out when
+        #: one saturated class backs up behind the others.
+        self.ready_counts: List[int] = [0, 0, 0]
         self.threads: List[int] = []
         self.issued_total = 0
         #: value of the core's resource-free epoch when this pipeline's
@@ -315,11 +332,11 @@ class Processor:
             if loads[0] > config.contexts_for(n):
                 raise ValueError(f"{n} threads exceed contexts of {config.name}")
         else:
-            for i, l in enumerate(loads):
-                if l > config.pipelines[i].contexts:
+            for i, load in enumerate(loads):
+                if load > config.pipelines[i].contexts:
                     raise ValueError(
                         f"pipeline {i} ({config.pipelines[i].name}) of {config.name} "
-                        f"hosts {l} threads but has {config.pipelines[i].contexts} contexts"
+                        f"hosts {load} threads but has {config.pipelines[i].contexts} contexts"
                     )
         self.config = config
         self.params = config.params
@@ -473,16 +490,18 @@ class Processor:
         # --- stage dispatch ----------------------------------------------
         # Monolithic configurations (the M8 baseline — a fixed ~15% of
         # every sweep that only responds to engine gains) run specialized
-        # single-pipeline commit/fetch stages: one shared decoupling
+        # single-pipeline commit/issue/fetch stages: one shared decoupling
         # buffer, no per-thread pipeline indirection, no outer pipeline
         # loops. Provably the same work in the same order, so results are
         # bit-identical (pinned by the golden-equivalence suite).
         if config.is_monolithic:
             self._commit_impl = self._commit_mono
             self._fetch_impl = self._fetch_mono
+            self._issue_impl = self._issue_mono
         else:
             self._commit_impl = self._commit
             self._fetch_impl = self._fetch
+            self._issue_impl = self._issue_all
 
     # ------------------------------------------------- compatibility views
 
@@ -668,7 +687,7 @@ class Processor:
         n = self.num_threads
         commit = self._commit_impl
         writeback = self._writeback
-        issue = self._issue
+        issue_stage = self._issue_impl
         rename = self._rename
         fetch = self._fetch_impl
         while not self.finished:
@@ -730,10 +749,8 @@ class Processor:
                 self._commit_rotor += 1
             if wheel[cyc & mask] or far:
                 writeback()
-            for pl in active:
-                ready = pl.ready
-                if ready[0] or ready[1] or ready[2]:
-                    issue(pl)
+            if self._ready_count:
+                issue_stage()
             free_epoch = self._free_epoch
             for pl in active:
                 if pl.buffer and pl.blocked_epoch != free_epoch:
@@ -750,10 +767,8 @@ class Processor:
             self._commit_rotor += 1
         if self._wheel[self.cycle & self._wheel_mask] or self._far_events:
             self._writeback()
-        for pl in self.active_pipes:
-            ready = pl.ready
-            if ready[0] or ready[1] or ready[2]:
-                self._issue(pl)
+        if self._ready_count:
+            self._issue_impl()
         free_epoch = self._free_epoch
         for pl in self.active_pipes:
             if pl.buffer and pl.blocked_epoch != free_epoch:
@@ -943,7 +958,9 @@ class Processor:
         deps = deps_arr[i]
         if deps:
             fu_of = _FU_OF_OP
-            ready = self._pipe_by_thread[t].ready
+            pl = self._pipe_by_thread[t]
+            ready = pl.ready
+            ready_counts = pl.ready_counts
             woken = 0
             for d, dep_ep in deps:
                 j = base + d
@@ -953,7 +970,9 @@ class Processor:
                 pend[j] = p
                 if p == 0 and states[j] == S_WAITING:
                     states[j] = S_READY
-                    heappush(ready[fu_of[entries[j][0]]], (seqs[j], t, d))
+                    fu = fu_of[entries[j][0]]
+                    heappush(ready, (seqs[j], fu, t, d))
+                    ready_counts[fu] += 1
                     woken += 1
             if woken:
                 self._ready_count += woken
@@ -1031,6 +1050,7 @@ class Processor:
         seqs = self._rob_seq
         reg_map = self.reg_map[t]
         iq_used = pl.iq_used
+        ready_counts = pl.ready_counts
         fu_of = _FU_OF_OP
         phys_free = self.phys_free
         icount_drop = 0
@@ -1041,10 +1061,14 @@ class Processor:
             st = states[i]
             e = entries[i]
             if st == S_WAITING or st == S_READY:
-                iq_used[fu_of[e[0]]] -= 1
+                fu = fu_of[e[0]]
+                iq_used[fu] -= 1
                 icount_drop += 1
                 if st == S_READY:
                     ready_drop += 1
+                    # The heap entry goes stale; only the live count says
+                    # so before the lazy pop reaches it.
+                    ready_counts[fu] -= 1
             elif st == S_ISSUED:
                 if flags_arr[i] & FL_LOADCTR:
                     self.inflight_loads[t] -= 1
@@ -1076,10 +1100,29 @@ class Processor:
 
     # ----------------------------------------------------------------- issue
 
-    def _issue(self, pl: Pipeline) -> None:
+    def _issue_all(self) -> None:
+        """Generic issue stage: every pipeline with ready entries."""
+        issue = self._issue
+        for pl in self.active_pipes:
+            if pl.ready:
+                issue(pl)
+
+    def _issue_mono(self) -> None:
+        """Single-pipeline issue stage: :meth:`_issue` with the pipeline
+        loop and per-call dispatch collapsed (one pipeline hosts every
+        thread), same merged-heap pick order and wheel scheduling — bit-
+        identical to the generic stage (pinned by the golden suite)."""
+        pl = self.active_pipes[0]
+        heap = pl.ready
+        if not heap:
+            return
         budget = pl.width
-        fu_avail = list(pl.fu_count)
-        ready = pl.ready
+        fu_avail = pl.fu_avail
+        ready_counts = pl.ready_counts
+        c0, c1, c2 = pl.fu_count
+        fu_avail[0] = c0
+        fu_avail[1] = c1
+        fu_avail[2] = c2
         entries, states, _, _, tidx_arr, _, _, seqs, epochs, flags_arr = \
             self._rob_arrays
         iq_used = pl.iq_used
@@ -1095,33 +1138,144 @@ class Processor:
         size = mask + 1
         flushing = self.policy.flushing
         issued = 0
-        while budget > 0:
-            # Age-ordered pick across the per-FU heaps with free units.
-            best_fu = -1
-            best_seq = None
-            for fu in (0, 1, 2):
-                if fu_avail[fu] <= 0:
-                    continue
-                heap = ready[fu]
-                # Drop stale heads (squashed/reused slots) lazily.
-                while heap:
-                    s, t, slot = heap[0]
-                    i = t * r + slot
-                    if states[i] == S_READY and seqs[i] == s:
-                        break
-                    heappop(heap)
-                if heap and (best_seq is None or heap[0][0] < best_seq):
-                    best_seq = heap[0][0]
-                    best_fu = fu
-            if best_fu < 0:
-                break
-            s, t, slot = heappop(ready[best_fu])
+        deferred: List[tuple] = []
+        while budget > 0 and heap:
+            head = heap[0]
+            s, fu, t, slot = head
             i = t * r + slot
-            fu_avail[best_fu] -= 1
+            if states[i] != S_READY or seqs[i] != s:
+                heappop(heap)  # stale (squashed or recycled slot)
+                continue
+            if fu_avail[fu] <= 0:
+                heappop(heap)
+                deferred.append(head)
+                ready_counts[fu] -= 1
+                if not (
+                    (fu_avail[0] > 0 and ready_counts[0] > 0)
+                    or (fu_avail[1] > 0 and ready_counts[1] > 0)
+                    or (fu_avail[2] > 0 and ready_counts[2] > 0)
+                ):
+                    break
+                continue
+            heappop(heap)
+            fu_avail[fu] -= 1
+            ready_counts[fu] -= 1
             budget -= 1
             states[i] = S_ISSUED
             issued += 1
-            iq_used[best_fu] -= 1
+            iq_used[fu] -= 1
+            icount[t] -= 1
+            e = entries[i]
+            op = e[0]
+            if op == OP_LOAD:
+                rlat = mem_load(e[4], t)
+                lat = rlat + extra
+                if rlat > l1_lat:
+                    self.inflight_loads[t] += 1
+                    flags_arr[i] |= FL_LOADCTR
+                if (
+                    flushing
+                    and rlat > flush_thr
+                    and tidx_arr[i] >= 0
+                    and not self.flush_wait[t]
+                ):
+                    when = cyc + flush_thr
+                    item = (EV_FLUSHCHK, t, slot, epochs[i])
+                    wi = when & mask
+                    lst = wheel[wi]
+                    if lst is None:
+                        wheel[wi] = [item]
+                    else:
+                        lst.append(item)
+            else:
+                lat = EXEC_LATENCY[op] + extra
+            if lat <= 0:
+                lat = 1
+            item = (EV_COMPLETE, t, slot, epochs[i])
+            if lat < size:
+                wi = (cyc + lat) & mask
+                lst = wheel[wi]
+                if lst is None:
+                    wheel[wi] = [item]
+                else:
+                    lst.append(item)
+            else:  # pragma: no cover - out-of-horizon (custom params) safety
+                self._far_events.setdefault(cyc + lat, []).append(item)
+        for item in deferred:
+            heappush(heap, item)
+            ready_counts[item[1]] += 1
+        if issued:
+            pl.issued_total += issued
+            self._ready_count -= issued
+            self._free_epoch += 1  # queue slots freed: unblock rename
+
+    def _issue(self, pl: Pipeline) -> None:
+        """Issue up to ``width`` ready instructions, oldest first.
+
+        The merged ready heap orders every ready instruction of the
+        pipeline by global age (``seq``); each pick takes the heap head
+        unless its FU class has no free unit this cycle, in which case
+        the entry is *parked* and the scan continues with the next-oldest
+        — exactly the age-ordered pick across per-class queues the
+        three-heap stage computed, without the per-instruction scan over
+        all three heads. Parked entries are pushed back after the loop
+        (they stay READY; only this cycle's units were taken). Stale
+        heads (squashed or recycled slots) are dropped lazily, as before.
+        """
+        budget = pl.width
+        heap = pl.ready
+        fu_avail = pl.fu_avail
+        ready_counts = pl.ready_counts
+        c0, c1, c2 = pl.fu_count
+        fu_avail[0] = c0
+        fu_avail[1] = c1
+        fu_avail[2] = c2
+        entries, states, _, _, tidx_arr, _, _, seqs, epochs, flags_arr = \
+            self._rob_arrays
+        iq_used = pl.iq_used
+        icount = self.icount
+        mem_load = self.mem.load_latency
+        r = self.rob_entries
+        extra = self._extra_reg
+        l1_lat = self._l1_lat
+        flush_thr = self._flush_thr
+        cyc = self.cycle
+        wheel = self._wheel
+        mask = self._wheel_mask
+        size = mask + 1
+        flushing = self.policy.flushing
+        issued = 0
+        deferred: List[tuple] = []
+        while budget > 0 and heap:
+            head = heap[0]
+            s, fu, t, slot = head
+            i = t * r + slot
+            if states[i] != S_READY or seqs[i] != s:
+                heappop(heap)  # stale (squashed or recycled slot)
+                continue
+            if fu_avail[fu] <= 0:
+                # This class's units are taken: park the entry, keep
+                # scanning younger instructions of the other classes —
+                # but only while some class still has both a free unit
+                # and a live entry left in the heap (the 3-heap stage's
+                # O(1) early-out, kept exact by the live counts).
+                heappop(heap)
+                deferred.append(head)
+                ready_counts[fu] -= 1
+                if not (
+                    (fu_avail[0] > 0 and ready_counts[0] > 0)
+                    or (fu_avail[1] > 0 and ready_counts[1] > 0)
+                    or (fu_avail[2] > 0 and ready_counts[2] > 0)
+                ):
+                    break  # nothing issuable remains this cycle
+                continue
+            heappop(heap)
+            fu_avail[fu] -= 1
+            ready_counts[fu] -= 1
+            budget -= 1
+            states[i] = S_ISSUED
+            issued += 1
+            iq_used[fu] -= 1
             icount[t] -= 1
             e = entries[i]
             op = e[0]
@@ -1162,6 +1316,9 @@ class Processor:
                     lst.append(item)
             else:  # pragma: no cover - out-of-horizon (custom params) safety
                 self._far_events.setdefault(cyc + lat, []).append(item)
+        for item in deferred:
+            heappush(heap, item)
+            ready_counts[item[1]] += 1
         if issued:
             pl.issued_total += issued
             self._ready_count -= issued
@@ -1200,6 +1357,7 @@ class Processor:
         iq_used = pl.iq_used
         iq_cap = pl.iq_cap
         ready = pl.ready
+        ready_counts = pl.ready_counts
         r = self.rob_entries
         (entries, states, pend_arr, deps, tidx_arr, prevprods, prevseqs,
          seqs, epoch_arr, flags_arr) = self._rob_arrays
@@ -1280,7 +1438,8 @@ class Processor:
             iq_used[fu] += 1
             if pending == 0:
                 states[i] = S_READY
-                heappush(ready[fu], (myseq, t, slot))
+                heappush(ready, (myseq, fu, t, slot))
+                ready_counts[fu] += 1
                 woken += 1
             else:
                 states[i] = S_WAITING

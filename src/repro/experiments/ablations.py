@@ -21,7 +21,7 @@ from contextlib import contextmanager
 from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.config import BaselineParams, MicroarchConfig, get_config
+from repro.core.config import MicroarchConfig, get_config
 from repro.core.mapping import (
     enumerate_mappings,
     heuristic_mapping,

@@ -24,9 +24,15 @@ pairs' remaining full-length runs — through a
 saturated to the tail of the sweep instead of draining at every pair
 boundary. In exact mode the screen batch holds one job per candidate
 mapping; in screening mode it holds one checkpointed ladder job per pair
-(pair-level granularity — the checkpoints must live in one worker). Pass
-``workers=`` (or set ``REPRO_WORKERS``) to fan out over processes;
-results are bit-identical to the sequential path regardless.
+(pair-level granularity — the checkpoints must live in one worker).
+Full-length runs are *bundled*: the single-mapping pairs' only runs and
+every pair's post-screen BEST/HEUR/WORST continuations are packed into
+:class:`~repro.runner.continuation.ContinuationJob` bundles sized to the
+worker count (``bundle_count`` overrides; the CLI exposes it as
+``--bundles``), so the sweep tail executes a handful of large jobs
+instead of draining one job per run. Pass ``workers=`` (or set
+``REPRO_WORKERS``) to fan out over processes; results are bit-identical
+to the sequential path regardless.
 
 ``screening=True`` swaps the exact oracle screens for successive halving
 (:class:`~repro.runner.screening.ScreenJob`): every candidate runs a
@@ -54,6 +60,7 @@ from repro.experiments.scale import ExperimentScale, default_scale
 from repro.metrics.stats import harmonic_mean
 from repro.metrics.tables import format_grouped_bars
 from repro.runner import BatchRunner, SimJob
+from repro.runner.continuation import ContinuationRun, plan_bundles
 from repro.runner.screening import ScreenJob
 from repro.trace.profiling import profile_benchmark
 from repro.workloads.definitions import WORKLOADS, Workload, get_workload
@@ -211,25 +218,41 @@ def _plan_pair(config_name: str, workload: Workload, scale: ExperimentScale,
 
 
 def _execute_plans(plans: Sequence[_PairPlan], scale: ExperimentScale,
-                   runner: BatchRunner, progress: bool = False) -> None:
+                   runner: BatchRunner, progress: bool = False,
+                   bundle_count: Optional[int] = None) -> None:
     """Run every plan's screens and full-length runs as cross-pair batches
     and publish the finished :class:`WorkloadResult` objects to the memo.
 
     Two batches total: every pair's screens (exact mode: one SimJob per
     candidate; screening mode: one
     :class:`~repro.runner.screening.ScreenJob` ladder per pair — with the
-    single-mapping pairs' full runs riding along), then every pair's
+    single-mapping pairs' full runs bundled alongside), then every pair's
     still-missing full-length BEST/HEUR/WORST runs — so the worker pool
     never drains between pairs.
+
+    Full-length runs ship as :class:`~repro.runner.continuation.
+    ContinuationJob` bundles: ``bundle_count`` (default: the runner's
+    worker count) caps the number of worker jobs, each bundle resuming
+    its runs back-to-back inside one process. ``plan_bundles`` assigns
+    run ``i`` to bundle ``i % n``, so bundle ``b`` owns every ``b``-th
+    run — the owner lists below rely on that contract.
     """
+    n_bundles = bundle_count if bundle_count is not None else runner.workers
+    if n_bundles < 1:
+        n_bundles = 1
+
     # --- phase 1: screens (plus single-mapping pairs' only runs) ---------
     batch: List = []
-    owners: List[Tuple[str, _PairPlan, Optional[Tuple[int, ...]]]] = []
+    owners: List[Tuple[str, object, Optional[Tuple[int, ...]]]] = []
+    single_runs: List[ContinuationRun] = []
+    single_plans: List[_PairPlan] = []
     for p in plans:
         if p.single_map is not None:
-            batch.append(SimJob(p.config_name, p.workload.benchmarks,
-                                p.single_map, scale.commit_target))
-            owners.append(("single", p, None))
+            single_runs.append(
+                ContinuationRun(p.config_name, p.workload.benchmarks,
+                                p.single_map, scale.commit_target)
+            )
+            single_plans.append(p)
         elif p.candidates is not None:
             for m in p.candidates:
                 batch.append(SimJob(p.config_name, p.workload.benchmarks, m,
@@ -238,30 +261,36 @@ def _execute_plans(plans: Sequence[_PairPlan], scale: ExperimentScale,
         elif p.screen_job is not None:
             batch.append(p.screen_job)
             owners.append(("ladder", p, None))
+    single_jobs = plan_bundles(single_runs, n_bundles)
+    for b, job in enumerate(single_jobs):
+        batch.append(job)
+        owners.append(("bundle", single_plans[b::len(single_jobs)], None))
     if batch:
         if progress:  # pragma: no cover - console feedback only
             print(f"  screening phase: {len(batch)} jobs ...", flush=True)
         results = runner.run(batch)
         exact_scores: Dict[int, List[Tuple[float, Tuple[int, ...]]]] = {}
         for (kind, p, m), r in zip(owners, results):
-            if kind == "single":
-                p.single_result = r
-            elif kind == "exact":
+            if kind == "exact":
                 exact_scores.setdefault(id(p), []).append((r.ipc, m))
-            else:  # ladder
+            elif kind == "ladder":
                 p.best_map = r.best()
                 p.worst_map = r.worst()
                 p.full_results.update(dict(r.full_results))
+            else:  # bundle of single-mapping full runs; p is a plan slice
+                for plan, res in zip(p, r):
+                    plan.single_result = res
         for p in plans:
             screened = exact_scores.get(id(p))
             if screened is not None:
                 p.best_map = max(screened)[1]
                 p.worst_map = min(screened)[1]
 
-    # --- phase 2: full-length runs (one batch across every pair) --------
+    # --- phase 2: full-length continuations (bundled across pairs) ------
     # Screening-mode ladders already folded the best/worst/heuristic full
-    # runs; exact mode simulates all three (deduplicated) here.
-    batch = []
+    # runs; exact mode resumes all three (deduplicated) here, packed into
+    # at most ``n_bundles`` worker jobs.
+    full_runs: List[ContinuationRun] = []
     full_owners: List[Tuple[_PairPlan, Tuple[int, ...]]] = []
     for p in plans:
         if p.best_map is None:
@@ -272,15 +301,21 @@ def _execute_plans(plans: Sequence[_PairPlan], scale: ExperimentScale,
         for m in unique_maps:
             if m in p.full_results:
                 continue
-            batch.append(SimJob(p.config_name, p.workload.benchmarks, m,
-                                scale.commit_target))
+            full_runs.append(
+                ContinuationRun(p.config_name, p.workload.benchmarks, m,
+                                scale.commit_target)
+            )
             full_owners.append((p, m))
-    if batch:
+    if full_runs:
+        full_jobs = plan_bundles(full_runs, n_bundles)
         if progress:  # pragma: no cover - console feedback only
-            print(f"  full-length runs: {len(batch)} ...", flush=True)
-        results = runner.run(batch)
-        for (p, m), r in zip(full_owners, results):
-            p.full_results[m] = r
+            print(f"  full-length continuations: {len(full_runs)} runs "
+                  f"in {len(full_jobs)} bundles ...", flush=True)
+        results = runner.run(full_jobs)
+        nb = len(full_jobs)
+        for b, (job, res) in enumerate(zip(full_jobs, results)):
+            for (p, m), r in zip(full_owners[b::nb], res):
+                p.full_results[m] = r
 
     # --- assembly --------------------------------------------------------
     for p in plans:
@@ -339,6 +374,7 @@ def run_performance_experiment(
     workers: Optional[int] = None,
     runner: Optional[BatchRunner] = None,
     screening: bool = False,
+    bundle_count: Optional[int] = None,
 ) -> Dict[str, Dict[str, WorkloadResult]]:
     """The full sweep behind Figs. 4 and 5: results[config][workload].
 
@@ -351,6 +387,11 @@ def run_performance_experiment(
     validated approximation (same selections as exact mode on the
     reference scenario, asserted by tests) that roughly halves screening
     work; the default remains the exact screen.
+
+    ``bundle_count`` caps the number of full-length
+    :class:`~repro.runner.continuation.ContinuationJob` bundles per batch
+    (default: the runner's worker count); results are identical for any
+    value — it is purely a scheduling knob.
     """
     scale = scale or default_scale()
     if workload_names is None:
@@ -376,7 +417,8 @@ def run_performance_experiment(
             if progress:  # pragma: no cover - console feedback only
                 print(f"  sweep: {len(todo)} (config, workload) pairs ...",
                       flush=True)
-            _execute_plans(todo, scale, runner, progress=progress)
+            _execute_plans(todo, scale, runner, progress=progress,
+                           bundle_count=bundle_count)
         results: Dict[str, Dict[str, WorkloadResult]] = {
             cn: {} for cn in config_names
         }

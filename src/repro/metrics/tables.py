@@ -8,7 +8,7 @@ series = BEST/HEUR/WORST).
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 __all__ = ["format_table", "format_grouped_bars"]
 

@@ -27,7 +27,12 @@ fans them out over a :class:`concurrent.futures.ProcessPoolExecutor`:
 * **successive-halving screens** — :class:`~repro.runner.screening.
   HalvingScreen` plans staged oracle screening (short windows eliminate
   the middle of the candidate pack before full-window runs), the
-  ``--screening`` fast path of the experiment drivers.
+  ``--screening`` fast path of the experiment drivers;
+* **batched full-length continuations** — :class:`~repro.runner.
+  continuation.ContinuationJob` packs the sweep's post-screen full-length
+  runs into a handful of bundles sized to the worker count
+  (:func:`~repro.runner.continuation.plan_bundles`), so the pool executes
+  a few large jobs instead of draining one job per run.
 
 Worker count: the ``workers`` argument, else the ``REPRO_WORKERS``
 environment variable, else ``os.cpu_count()``. ``workers=1`` (or a batch
@@ -36,6 +41,15 @@ of fewer than two jobs) runs inline with no subprocess overhead.
 
 from repro.runner.batch import BatchRunner, SimJob
 from repro.runner.cache import ResultCache
+from repro.runner.continuation import ContinuationJob, ContinuationRun, plan_bundles
 from repro.runner.screening import HalvingScreen
 
-__all__ = ["BatchRunner", "SimJob", "ResultCache", "HalvingScreen"]
+__all__ = [
+    "BatchRunner",
+    "SimJob",
+    "ResultCache",
+    "HalvingScreen",
+    "ContinuationJob",
+    "ContinuationRun",
+    "plan_bundles",
+]

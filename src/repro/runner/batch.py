@@ -26,7 +26,7 @@ import os
 import tempfile
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.config import MicroarchConfig
 from repro.core.simulation import (
@@ -44,6 +44,11 @@ __all__ = ["BatchRunner", "SimJob", "resolve_workers"]
 #: Fewer jobs than this run inline: process spawn + pickle overhead would
 #: exceed the win (a full-length run takes ~100 ms, a screen far less).
 _MIN_PARALLEL_JOBS = 3
+
+#: Threshold for *heavy* jobs (``job.heavy`` — checkpointed screen
+#: ladders, full-length continuation bundles): each one amortizes its
+#: dispatch overhead by construction, so two already justify the pool.
+_MIN_PARALLEL_HEAVY = 2
 
 
 @dataclass(frozen=True)
@@ -132,15 +137,12 @@ def _init_worker(cache_dir: Optional[str], store_dir: Optional[str]) -> None:
 
 
 def _execute_job(job: SimJob) -> SimResult:
-    if _WORKER_CACHE_DIR is not None:
-        cache = ResultCache(_WORKER_CACHE_DIR)
-        hit = cache.get(job)
-        if hit is not None:
-            return hit
-        result = job.execute()
-        cache.put(job, result)
-        return result
-    return job.execute()
+    cache = (
+        ResultCache(_WORKER_CACHE_DIR)
+        if _WORKER_CACHE_DIR is not None
+        else None
+    )
+    return _run_one(job, cache)
 
 
 class BatchRunner:
@@ -231,13 +233,19 @@ class BatchRunner:
     def run(self, jobs: Sequence) -> List:
         """Execute every job; ``results[i]`` corresponds to ``jobs[i]``.
 
-        Accepts any mix of :class:`SimJob` and
-        :class:`~repro.runner.screening.ScreenJob` (anything with
-        ``execute()``/``trace_triples()`` and result-cache hooks).
+        Accepts any mix of :class:`SimJob`,
+        :class:`~repro.runner.screening.ScreenJob` and
+        :class:`~repro.runner.continuation.ContinuationJob` (anything
+        with ``execute()``/``trace_triples()`` and result-cache hooks).
         """
         jobs = list(jobs)
         self.jobs_run += len(jobs)
-        if self.workers <= 1 or len(jobs) < _MIN_PARALLEL_JOBS:
+        min_jobs = (
+            _MIN_PARALLEL_HEAVY
+            if any(getattr(job, "heavy", False) for job in jobs)
+            else _MIN_PARALLEL_JOBS
+        )
+        if self.workers <= 1 or len(jobs) < min_jobs:
             return [_run_one(job, self.cache) for job in jobs]
         self._prepack_traces(jobs)
         if self._pool is None:
@@ -270,25 +278,28 @@ class BatchRunner:
         packed_triples = self._packed_triples
         warm_sets = {}
         for job in jobs:
-            triples = job.trace_triples()
-            for triple in triples:
-                if triple in packed_triples:
-                    continue
-                if store is None:
-                    store = PackedTraceStore(self.store_dir)
-                name, length, instance = triple
-                if not store.contains(name, length, instance, _JUNK_LEN):
-                    trace = trace_for(name, length, instance)
-                    store.save(PackedTrace.from_trace(trace), name, length,
-                               instance)
-                packed_triples.add(triple)
-            if getattr(job, "warmup", True):
-                config = job.config
-                if isinstance(config, str):
-                    config = get_config(config)
-                warm_sets.setdefault(
-                    (config.params.memory, tuple(triples)), None
-                )
+            # A ContinuationJob bundles independent runs; every other job
+            # kind is its own single unit (one config, one trace set).
+            for unit in getattr(job, "runs", None) or (job,):
+                triples = unit.trace_triples()
+                for triple in triples:
+                    if triple in packed_triples:
+                        continue
+                    if store is None:
+                        store = PackedTraceStore(self.store_dir)
+                    name, length, instance = triple
+                    if not store.contains(name, length, instance, _JUNK_LEN):
+                        trace = trace_for(name, length, instance)
+                        store.save(PackedTrace.from_trace(trace), name,
+                                   length, instance)
+                    packed_triples.add(triple)
+                if getattr(unit, "warmup", True):
+                    config = unit.config
+                    if isinstance(config, str):
+                        config = get_config(config)
+                    warm_sets.setdefault(
+                        (config.params.memory, tuple(triples)), None
+                    )
         for memory_params, triples in warm_sets:
             traces = [trace_for(*t) for t in triples]
             ensure_warm_snapshot(self.store_dir, memory_params, traces)
@@ -300,6 +311,13 @@ class BatchRunner:
 
 
 def _run_one(job: SimJob, cache: Optional[ResultCache]) -> SimResult:
+    runs = getattr(job, "runs", None)
+    if runs is not None:
+        # A ContinuationJob bundle: cache each run under the SimJob
+        # identity it replaces, so hits are independent of how the sweep
+        # was bundled (worker count, composition) and interchange with
+        # per-job scheduler cache entries.
+        return tuple(_run_one(run.as_sim_job(), cache) for run in runs)
     if cache is not None:
         hit = cache.get(job)
         if hit is not None:

@@ -1,0 +1,155 @@
+"""Batched full-length continuation scheduler.
+
+The sweep tail used to be dominated by full-length runs dispatched as
+one worker job each: after the screen phase picked every pair's
+BEST/HEUR/WORST mappings, the pool drained through dozens of small jobs
+whose per-job overhead (pickle, dispatch, result marshalling, cache
+probing) rivalled the simulation itself at screen-sized windows.
+
+:class:`ContinuationJob` packs many full-length runs into one worker
+job: each :class:`ContinuationRun` resumes exactly the way a
+:class:`~repro.runner.screening.ScreenJob` continues its checkpointed
+processors — build the processor, restore the shared warm snapshot,
+reset the measurement counters, run to the full commit target — so a
+bundled run is bit-identical to the :class:`~repro.runner.batch.SimJob`
+it replaces (``run_simulation`` performs the same four steps). The
+experiment sweep partitions its post-screen plan into
+``bundle_count`` bundles (defaulting to the worker count) with
+:func:`plan_bundles`, so the pool executes a handful of large jobs
+instead of draining per pair.
+
+Runs are assigned round-robin: one (configuration, workload) pair's
+BEST/HEUR/WORST runs land in different bundles, which balances the
+expensive pairs across workers (traces and warm snapshots are shared
+through the runner's content-addressed stores either way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.core.config import MicroarchConfig
+from repro.core.simulation import (
+    SimResult,
+    default_trace_length,
+    resolve_trace_triples,
+)
+
+__all__ = ["ContinuationRun", "ContinuationJob", "plan_bundles"]
+
+
+@dataclass(frozen=True)
+class ContinuationRun:
+    """One full-length run riding inside a :class:`ContinuationJob`.
+
+    The field set mirrors :class:`~repro.runner.batch.SimJob` (warm-up
+    always on, no cycle cap — the experiment drivers' full-length runs
+    never use either knob), so a run's identity is exactly the SimJob it
+    replaces.
+    """
+
+    config: Union[str, MicroarchConfig]
+    benchmarks: Tuple[str, ...]
+    mapping: Tuple[int, ...]
+    commit_target: int
+    trace_length: Optional[int] = None
+    seed: int = 0
+
+    def execute(self) -> SimResult:
+        """Run to the full commit target — by definition the SimJob this
+        run replaces (one shared implementation, zero drift surface)."""
+        return self.as_sim_job().execute()
+
+    def trace_triples(self) -> List[Tuple[str, int, int]]:
+        length = (
+            self.trace_length
+            if self.trace_length is not None
+            else default_trace_length(self.commit_target)
+        )
+        return resolve_trace_triples(self.benchmarks, length, self.seed)
+
+    def as_sim_job(self):
+        """The :class:`~repro.runner.batch.SimJob` this run replaces.
+
+        The runner caches bundle runs *per run* through this identity, so
+        cache entries are independent of bundle composition (worker
+        count, sweep shape) and interchange with entries written by the
+        per-job scheduler this PR replaced.
+        """
+        from repro.runner.batch import SimJob
+
+        return SimJob(
+            config=self.config,
+            benchmarks=self.benchmarks,
+            mapping=self.mapping,
+            commit_target=self.commit_target,
+            trace_length=self.trace_length,
+            seed=self.seed,
+        )
+
+
+@dataclass(frozen=True)
+class ContinuationJob:
+    """A bundle of full-length runs executed inside one worker.
+
+    ``execute()`` returns one :class:`~repro.core.simulation.SimResult`
+    per run, in run order. Traces and post-warm snapshots are shared
+    within the worker through the process memo and (when the runner
+    activated one) the content-addressed store, so a bundle pays the
+    cold-start cost once per distinct workload rather than once per run.
+    The result cache operates per *run*, not per bundle (each run caches
+    as the :class:`~repro.runner.batch.SimJob` it replaces), so reuse
+    survives re-bundling.
+    """
+
+    runs: Tuple[ContinuationRun, ...]
+
+    #: BatchRunner parallelizes batches of heavy jobs at 2+ jobs (a
+    #: bundle amortizes its dispatch overhead by construction).
+    heavy = True
+
+    @property
+    def resume_count(self) -> int:
+        """Full-length runs this bundle resumes (one result each)."""
+        return len(self.runs)
+
+    def execute(self) -> Tuple[SimResult, ...]:
+        return tuple(run.execute() for run in self.runs)
+
+    # -- shared-store integration ------------------------------------------
+    #
+    # Result caching is handled by the runner *per run* (each run caches
+    # under its SimJob identity — see ContinuationRun.as_sim_job), so a
+    # bundle defines no job-level cache hooks: cache reuse must not
+    # depend on how the sweep happened to be bundled.
+
+    def trace_triples(self) -> List[Tuple[str, int, int]]:
+        """Distinct traces the bundle streams (parent pre-pack pass)."""
+        seen = {}
+        for run in self.runs:
+            for triple in run.trace_triples():
+                seen.setdefault(triple, None)
+        return list(seen)
+
+
+def plan_bundles(
+    runs: Sequence[ContinuationRun], bundle_count: int
+) -> List[ContinuationJob]:
+    """Partition ``runs`` into at most ``bundle_count`` bundles.
+
+    Round-robin assignment: ``runs[i]`` lands in bundle ``i % n``, so one
+    pair's BEST/HEUR/WORST runs spread across bundles (cost balance) and
+    the bundles partition the plan exactly — every run appears in exactly
+    one bundle, in its original relative order. Deterministic in
+    (runs, bundle_count); empty input produces no bundles.
+    """
+    if bundle_count < 1:
+        raise ValueError("bundle_count must be >= 1")
+    n = min(len(runs), bundle_count)
+    if n == 0:
+        return []
+    buckets: List[List[ContinuationRun]] = [[] for _ in range(n)]
+    for i, run in enumerate(runs):
+        buckets[i % n].append(run)
+    return [ContinuationJob(runs=tuple(b)) for b in buckets]

@@ -261,6 +261,10 @@ class ScreenJob:
     candidates: Tuple[Mapping, ...]
     final_target: int
     rounds: int = 1
+
+    #: BatchRunner parallelizes batches of heavy jobs at 2+ jobs (a
+    #: whole ladder amortizes its dispatch overhead by construction).
+    heavy = True
     keep: float = 0.5
     top_fraction: float = 0.5
     min_survivors: int = 3

@@ -10,7 +10,6 @@ from repro.area.model import (
     pipeline_model_area,
     stage_breakdown,
 )
-from repro.core.config import get_config
 from repro.core.models import PipelineModel
 
 

@@ -13,7 +13,6 @@ import pytest
 from repro.core.config import get_config
 from repro.core.processor import Processor, clear_warm_cache
 from repro.core.simulation import run_simulation
-from repro.trace.stream import trace_for
 
 # (config, benchmarks, mapping, commit_target) -> seed-engine outcome.
 GOLDEN = [

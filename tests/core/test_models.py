@@ -16,7 +16,7 @@ FIG_2A = {
 
 @pytest.mark.parametrize("name", list(FIG_2A))
 def test_fig_2a_resources(name):
-    ctx, width, tpc, q, i, f, l = FIG_2A[name]
+    ctx, width, tpc, q, i, f, ls = FIG_2A[name]
     m = get_model(name)
     assert m.contexts == ctx
     assert m.width == width
@@ -24,7 +24,7 @@ def test_fig_2a_resources(name):
     assert m.iq_entries == m.fq_entries == m.lq_entries == q
     assert m.int_units == i
     assert m.fp_units == f
-    assert m.ldst_units == l
+    assert m.ldst_units == ls
 
 
 def test_fetch_buffer_sizes_match_section_4():

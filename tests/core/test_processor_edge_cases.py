@@ -1,6 +1,5 @@
 """Edge-case tests: interactions the main processor tests do not cover."""
 
-import pytest
 
 from repro.core.config import get_config
 from repro.core.processor import FL_MISPRED, Processor, S_FREE
@@ -61,7 +60,6 @@ def test_threads_per_cycle_rename_limit():
     proc.warm()
     # Run manually and check the invariant each cycle via instrumentation.
     for _ in range(300):
-        before = [proc.committed[t] for t in range(2)]
         proc.step()
         if proc.finished:
             break

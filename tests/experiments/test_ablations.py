@@ -1,6 +1,5 @@
 """Integration tests: ablation studies (tiny scale)."""
 
-import pytest
 
 from repro.experiments.ablations import (
     ablation_fetch_buffer,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.experiments.performance import (
-    WorkloadResult,
     class_size_means,
     clear_result_cache,
     evaluate_config_workload,

@@ -1,6 +1,5 @@
 """End-to-end behavioural tests of the full simulator stack."""
 
-import pytest
 
 from repro.core.config import get_config
 from repro.core.simulation import run_simulation, run_workload

@@ -27,7 +27,7 @@ def test_class_names_align_with_constants():
 
 def test_latency_table_covers_every_class():
     assert len(op.EXEC_LATENCY) == op.NUM_OP_CLASSES
-    assert all(l >= 1 for l in op.EXEC_LATENCY)
+    assert all(lat >= 1 for lat in op.EXEC_LATENCY)
 
 
 def test_multiply_slower_than_alu():

@@ -32,7 +32,7 @@ def test_render_figure_groups():
     }
     s = render_figure(["2 THREADS", "HMEAN"], ["M8", "3M4"], data, width=30)
     assert "-- 2 THREADS --" in s and "-- HMEAN --" in s
-    lines = [l for l in s.splitlines() if "|" in l]
+    lines = [ln for ln in s.splitlines() if "|" in ln]
     assert lines[0].count("#") == 30  # the max value spans the full width
     assert lines[1].count("#") == 15
 

@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.core.simulation import run_simulation
 from repro.experiments.performance import (
@@ -11,7 +10,6 @@ from repro.experiments.performance import (
     fig5_table,
     run_performance_experiment,
 )
-from repro.experiments.scale import ExperimentScale
 from repro.runner import BatchRunner, ResultCache, SimJob
 from repro.runner.batch import resolve_workers
 

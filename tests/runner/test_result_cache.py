@@ -4,9 +4,8 @@ every cached result, because packed traces feed the simulations)."""
 
 import json
 
-import pytest
 
-from repro.runner import BatchRunner, ResultCache, SimJob
+from repro.runner import BatchRunner, ResultCache
 from repro.runner.screening import ScreenJob
 
 
