@@ -4,11 +4,13 @@
 Snapshots the committed ``BENCH_000N.json`` baseline *before* the
 benchmarks overwrite it, re-runs the throughput suite
 (``RUN_BENCH=1 pytest benchmarks/test_simulator_throughput.py``), then
-compares the fresh ``perf_gate`` reference section of ``BENCH_0004.json``
-— single-simulation cycles/sec and the fixed-scale reference-sweep wall
-clock — against the newest committed snapshot that records one. A
-regression beyond ``PERF_GATE_TOLERANCE`` (default 0.25, i.e. >25%)
-fails the gate.
+compares the fresh ``perf_gate`` reference section of ``BENCH_0005.json``
+(written by ``test_engine_package_throughput``) — single-simulation
+cycles/sec and the fixed-scale reference-sweep wall clock — against the
+newest committed snapshot that records one (baseline discovery walks
+``BENCH_0*.json`` newest-first, so appending ``BENCH_000N`` snapshots
+keeps working). A regression beyond ``PERF_GATE_TOLERANCE`` (default
+0.25, i.e. >25%) fails the gate.
 
 The gate section is recorded at a *fixed* window scale
 (``GATE_SCALE`` in the benchmark module), so fresh and baseline numbers
@@ -34,7 +36,7 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-FRESH_SNAPSHOT = REPO_ROOT / "BENCH_0004.json"
+FRESH_SNAPSHOT = REPO_ROOT / "BENCH_0005.json"
 
 
 def snapshot_number(path: Path) -> int:
@@ -83,7 +85,7 @@ def main() -> int:
     baseline, baseline_path = load_gate_baseline()
 
     # The benchmark module rewrites every BENCH_000N.json it owns; only
-    # BENCH_0004 carries the gate reference (and merge-protects its
+    # BENCH_0005 carries the fresh gate reference (and merge-protects its
     # full-scale record itself). Preserve the other committed snapshots —
     # they are this-machine historical records, not gate outputs — so the
     # gate never leaves the tree dirty with wrong-machine numbers.

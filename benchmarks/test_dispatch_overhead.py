@@ -1,0 +1,161 @@
+"""Dispatch-overhead micro-benchmark: jobs submitted vs ``max_mappings``.
+
+Not a paper artifact — this pins the *structural* win of the bundled
+scheduler: the number of worker jobs a sweep dispatches. Before PR 5 the
+exact-mode screen batch grew as ``max_mappings × pairs`` (one SimJob per
+candidate mapping); bundling packs the same runs into at most
+worker-count jobs, so dispatch/pickle/cache-probe overhead no longer
+scales with the candidate count. Screening mode dispatches one ladder
+job per screened pair (plus the bundled single runs) at any
+``max_mappings``.
+
+Gated behind ``RUN_BENCH=1`` like every benchmark (see conftest). The
+job counts merge into ``BENCH_0005.json`` next to the PR 5 throughput
+A/B.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.experiments.performance import (
+    _execute_plans,
+    _plan_pair,
+    clear_result_cache,
+)
+from repro.experiments.scale import ExperimentScale
+from repro.runner import BatchRunner
+from repro.workloads.definitions import get_workload
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+SNAPSHOT = _REPO_ROOT / "BENCH_0005.json"
+
+#: The candidate-count axis. 24 is the benchmark harness default; the
+#: reference experiment scale runs 36.
+MAPPING_COUNTS = (4, 8, 16, 24)
+
+#: Small fixed windows: this benchmark measures *scheduling*, not
+#: simulation throughput, so the runs themselves are kept cheap and the
+#: scale deliberately ignores REPRO_SIM_SCALE.
+SCALE_KWARGS = dict(commit_target=800, screen_target=300)
+
+CONFIGS = ("M8", "2M4+2M2")
+WORKLOADS = ("2W4", "4W6")
+
+#: Job counts are sized against this reported pool width (the bundling
+#: contract: at most `workers` bundle jobs per batch, however many
+#: candidate mappings the sweep screens).
+REPORTED_WORKERS = 4
+
+
+class CountingRunner(BatchRunner):
+    """Executes every batch inline but records it, while *reporting* a
+    multi-worker width so the scheduler sizes bundles as the pool would."""
+
+    def __init__(self, reported_workers: int = REPORTED_WORKERS):
+        super().__init__(workers=1, trace_store=False)
+        self.workers = reported_workers
+        self.batches = []
+
+    def run(self, jobs):
+        jobs = list(jobs)
+        self.batches.append(jobs)
+        return [job.execute(self.cache) for job in jobs]
+
+
+def _sweep_job_counts(screening: bool, max_mappings: int) -> dict:
+    """One cross-pair sweep at ``max_mappings`` candidates: the batches
+    dispatched, the runs they carry, and the per-job-scheduler job count
+    the bundles replace."""
+    clear_result_cache()
+    scale = ExperimentScale(max_mappings=max_mappings, **SCALE_KWARGS)
+    runner = CountingRunner()
+    plans = [
+        _plan_pair(cn, get_workload(wn), scale, screening=screening)
+        for cn in CONFIGS
+        for wn in WORKLOADS
+    ]
+    t0 = time.perf_counter()
+    _execute_plans(plans, scale, runner)
+    elapsed = time.perf_counter() - t0
+    clear_result_cache()
+
+    counts = {"jobs_per_batch": [len(b) for b in runner.batches]}
+    counts["jobs_total"] = sum(counts["jobs_per_batch"])
+    # What the per-job scheduler (PR 4 and earlier, exact mode) would
+    # have dispatched for the same phase-1 plan: one screen job per
+    # candidate mapping of every screened pair, one job per
+    # single-mapping pair.
+    counts["per_run_phase1_jobs"] = sum(
+        len(p.candidates) if p.candidates is not None else 1
+        for p in plans
+        if p.screen_job is None
+    ) + sum(1 for p in plans if p.screen_job is not None)
+    counts["phase1_jobs"] = counts["jobs_per_batch"][0]
+    counts["seconds_inline"] = round(elapsed, 3)
+    return counts
+
+
+def test_dispatch_overhead_job_counts(artifact):
+    """Exact-mode screen dispatch must stay ~``workers`` jobs at every
+    ``max_mappings`` while the per-run scheduler's count grows linearly;
+    the measured counts are recorded in BENCH_0005.json."""
+    rows = []
+    results = {"exact": {}, "screening": {}}
+    for mode, screening in (("exact", False), ("screening", True)):
+        for mm in MAPPING_COUNTS:
+            counts = _sweep_job_counts(screening, mm)
+            results[mode][mm] = counts
+            rows.append(
+                f"{mode:10s} max_mappings={mm:3d} "
+                f"phase1_jobs={counts['phase1_jobs']:3d} "
+                f"(per-run scheduler: {counts['per_run_phase1_jobs']:3d}) "
+                f"total={counts['jobs_total']:3d}"
+            )
+
+    exact = results["exact"]
+    # The bundling contract: exact-mode phase 1 is at most `workers`
+    # bundle jobs, independent of the candidate count...
+    for mm, counts in exact.items():
+        assert counts["phase1_jobs"] <= REPORTED_WORKERS, (mm, counts)
+    # ...while the per-run scheduler's job count grows with it.
+    assert (
+        exact[MAPPING_COUNTS[-1]]["per_run_phase1_jobs"]
+        > exact[MAPPING_COUNTS[0]]["per_run_phase1_jobs"]
+        >= exact[MAPPING_COUNTS[0]]["phase1_jobs"]
+    )
+    # Screening mode keeps one ladder per screened pair regardless of
+    # max_mappings: the batch size must not grow with the candidate
+    # count either.
+    screen_sizes = {
+        counts["phase1_jobs"] for counts in results["screening"].values()
+    }
+    assert len(screen_sizes) == 1
+
+    payload = {
+        "benchmark": "test_dispatch_overhead_job_counts",
+        "configs": list(CONFIGS),
+        "workloads": list(WORKLOADS),
+        "reported_workers": REPORTED_WORKERS,
+        "scale": SCALE_KWARGS,
+        "note": (
+            "worker jobs dispatched per sweep batch vs max_mappings; "
+            "phase1 covers the screen batch (exact mode: bundled "
+            "candidate screens + single runs; screening mode: one "
+            "ladder per pair + bundled single runs), per_run_phase1_jobs "
+            "is what the pre-bundling scheduler dispatched"
+        ),
+        "modes": {
+            mode: {str(mm): counts for mm, counts in per_mode.items()}
+            for mode, per_mode in results.items()
+        },
+    }
+    merged = {}
+    if SNAPSHOT.exists():
+        try:
+            merged = json.loads(SNAPSHOT.read_text())
+        except ValueError:
+            merged = {}
+    merged["dispatch_overhead"] = payload
+    SNAPSHOT.write_text(json.dumps(merged, indent=2) + "\n")
+    artifact("dispatch_overhead", "\n".join(rows))

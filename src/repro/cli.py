@@ -153,9 +153,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--bundles",
         type=int,
         default=None,
-        help="full-length continuation bundles per batch (default: the "
-        "worker count); purely a scheduling knob — results are "
-        "identical for any value",
+        help="job bundles per batch (default: the worker count) — caps "
+        "how many worker jobs the exact-mode screens and the "
+        "full-length continuations are packed into; purely a "
+        "scheduling knob — results are identical for any value",
     )
     p_fig.add_argument(
         "--screening",
@@ -166,7 +167,8 @@ def build_parser() -> argparse.ArgumentParser:
         "full-window IPC, so selection ties break exactly as the exact "
         "screen's) before full-window runs (validated approximation — "
         "identical oracle selection on the reference scenario; default "
-        "is the exact screen)",
+        "is the exact screen, whose per-candidate jobs are bundled "
+        "into at most --bundles worker jobs)",
     )
     p_fig.set_defaults(func=_cmd_figures)
 

@@ -1,0 +1,103 @@
+"""Pipeline stages and the stage registry.
+
+Every stage with configuration-dependent specializations is registered
+here, keyed by *variant*:
+
+* ``"smt"`` — the generic multipipeline stages (any configuration);
+* ``"mono"`` — single-pipeline specializations (the M8 baseline): the
+  generic stage with the pipeline loop and per-thread pipeline
+  indirection collapsed. Provably the same work in the same order, so
+  results are bit-identical — pinned by the golden-equivalence suite
+  and the registry lockstep test
+  (``tests/properties/test_stage_registry_lockstep.py``).
+
+:class:`~repro.core.engine.engine.Processor` composes its stage tuple
+**once at construction** via :func:`stage_set_for` — there is no
+per-call ``if`` dispatch in ``run()``/``step()``. Adding a stage
+variant (e.g. a per-pipeline fetch policy, or a C-slow-style replicated
+pipeline) means registering it here and teaching :func:`stage_set_for`
+when to select it; the lockstep test parametrizes over the registry, so
+new variants are differentially tested against the generic stages for
+free.
+
+Rename and writeback have a single implementation (they are already
+pipeline-agnostic), so only fetch/issue/commit are registered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.core.engine.stages.commit import commit, commit_mono
+from repro.core.engine.stages.fetch import fetch, fetch_mono, fetch_thread
+from repro.core.engine.stages.issue import issue_all, issue_mono, issue_pipeline
+from repro.core.engine.stages.rename import rename
+from repro.core.engine.stages.writeback import (
+    complete,
+    do_flush,
+    squash_after,
+    writeback,
+)
+
+__all__ = [
+    "StageSet",
+    "STAGE_REGISTRY",
+    "STAGE_SETS",
+    "stage_set_for",
+    "stage_variant_for",
+    "commit",
+    "commit_mono",
+    "fetch",
+    "fetch_mono",
+    "fetch_thread",
+    "issue_all",
+    "issue_mono",
+    "issue_pipeline",
+    "rename",
+    "writeback",
+    "complete",
+    "do_flush",
+    "squash_after",
+]
+
+
+@dataclass(frozen=True)
+class StageSet:
+    """One composed (fetch, issue, commit) stage selection."""
+
+    fetch: Callable
+    issue: Callable
+    commit: Callable
+
+
+#: Per-stage variant registry: ``STAGE_REGISTRY[stage][variant]`` is the
+#: unbound stage function (taking the processor as ``self``). The
+#: lockstep suite iterates this to differentially test every variant.
+STAGE_REGISTRY: Dict[str, Dict[str, Callable]] = {
+    "fetch": {"smt": fetch, "mono": fetch_mono},
+    "issue": {"smt": issue_all, "mono": issue_mono},
+    "commit": {"smt": commit, "mono": commit_mono},
+}
+
+#: Composed stage sets, one per variant.
+STAGE_SETS: Dict[str, StageSet] = {
+    variant: StageSet(
+        fetch=STAGE_REGISTRY["fetch"][variant],
+        issue=STAGE_REGISTRY["issue"][variant],
+        commit=STAGE_REGISTRY["commit"][variant],
+    )
+    for variant in ("smt", "mono")
+}
+
+
+def stage_variant_for(config) -> str:
+    """The registry variant a configuration selects (once, at
+    construction): monolithic configurations run the specialized
+    single-pipeline stages, everything else the generic SMT stages."""
+    return "mono" if config.is_monolithic else "smt"
+
+
+def stage_set_for(config) -> StageSet:
+    """The composed stage set for ``config`` (see :data:`STAGE_SETS`)."""
+    return STAGE_SETS[stage_variant_for(config)]

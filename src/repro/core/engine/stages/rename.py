@@ -1,0 +1,150 @@
+"""Rename stage: drain the decoupling buffer into the ROB, in-order.
+
+One implementation serves every configuration (a pipeline hosting no
+more threads than rename accepts per cycle skips the threads-per-cycle
+bookkeeping entirely; otherwise a bitmask replaces the seed's list
+scans). The head-blocked fast path records the core's resource-free
+epoch so provably-still-blocked calls are skipped by ``run()``/``step()``.
+"""
+
+from __future__ import annotations
+
+from heapq import heappush
+
+from repro.core.engine.state import S_DONE, S_READY, S_WAITING
+from repro.isa.opcodes import _FU_OF_OP
+
+__all__ = ["rename"]
+
+
+def rename(self, pl) -> None:
+    buf = pl.buffer
+    if not buf:
+        return
+    # Cheap head-blocked test before the full prologue: if the oldest
+    # buffered instruction cannot rename, the in-order rename stage
+    # does nothing this cycle (identical to breaking out immediately).
+    t0, e0, _, _ = buf[0]
+    fu0 = _FU_OF_OP[e0[0]]
+    if (
+        pl.iq_used[fu0] >= pl.iq_cap[fu0]
+        or self.rob_count[t0] >= self.rob_entries
+        or (e0[1] >= 0 and self.phys_free <= 0)
+    ):
+        # Until a blocking resource frees (the free-epoch advances),
+        # re-running rename is a provable no-op — skip those calls.
+        pl.blocked_epoch = self._free_epoch
+        return
+    budget = pl.width
+    tpc = pl.tpc
+    # Threads-per-cycle gate: a pipeline hosting no more threads than
+    # rename accepts per cycle can never trip the limit (its buffer
+    # only ever holds its own threads), so the membership bookkeeping
+    # is skipped; otherwise a bitmask replaces the seed's list scans.
+    track_tpc = len(pl.threads) > tpc
+    new_thread = False
+    seen_mask = 0
+    nseen = 0
+    iq_used = pl.iq_used
+    iq_cap = pl.iq_cap
+    ready = pl.ready
+    ready_counts = pl.ready_counts
+    r = self.rob_entries
+    (
+        entries,
+        states,
+        pend_arr,
+        deps,
+        tidx_arr,
+        prevprods,
+        prevseqs,
+        seqs,
+        epoch_arr,
+        flags_arr,
+    ) = self._rob_arrays
+    rob_tail = self.rob_tail
+    rob_count = self.rob_count
+    reg_maps = self.reg_map
+    epochs_t = self.epoch
+    fu_of = _FU_OF_OP
+    phys_free = self.phys_free
+    seq = self.seq
+    woken = 0
+    while budget > 0 and buf:
+        t, e, tidx, flags = buf[0]
+        if track_tpc:
+            new_thread = not ((seen_mask >> t) & 1)
+            if new_thread and nseen >= tpc:
+                break
+        op = e[0]
+        fu = fu_of[op]
+        if iq_used[fu] >= iq_cap[fu]:
+            break
+        if rob_count[t] >= r:
+            break
+        dest = e[1]
+        if dest >= 0 and phys_free <= 0:
+            break
+        buf.popleft()
+        if new_thread:
+            seen_mask |= 1 << t
+            nseen += 1
+        budget -= 1
+        slot = rob_tail[t]
+        rob_tail[t] = slot + 1 if slot + 1 < r else 0
+        rob_count[t] += 1
+        base = t * r
+        i = base + slot
+        entries[i] = e
+        tidx_arr[i] = tidx
+        ep = epochs_t[t]
+        epoch_arr[i] = ep
+        flags_arr[i] = flags
+        seqs[i] = seq
+        myseq = seq
+        seq += 1
+        # Source dependences (must read the map before the dest write).
+        pending = 0
+        reg_map = reg_maps[t]
+        src = e[2]
+        if src >= 0:
+            prod = reg_map[src]
+            if prod >= 0 and states[base + prod] < S_DONE:
+                pending += 1
+                dl = deps[base + prod]
+                if dl is None:
+                    deps[base + prod] = [(slot, ep)]
+                else:
+                    dl.append((slot, ep))
+        src = e[3]
+        if src >= 0:
+            prod = reg_map[src]
+            if prod >= 0 and states[base + prod] < S_DONE:
+                pending += 1
+                dl = deps[base + prod]
+                if dl is None:
+                    deps[base + prod] = [(slot, ep)]
+                else:
+                    dl.append((slot, ep))
+        if dest >= 0:
+            prev = reg_map[dest]
+            prevprods[i] = prev
+            prevseqs[i] = seqs[base + prev] if prev >= 0 else -1
+            reg_map[dest] = slot
+            phys_free -= 1
+        else:
+            prevprods[i] = -1
+            prevseqs[i] = -1
+        pend_arr[i] = pending
+        iq_used[fu] += 1
+        if pending == 0:
+            states[i] = S_READY
+            heappush(ready, (myseq, fu, t, slot))
+            ready_counts[fu] += 1
+            woken += 1
+        else:
+            states[i] = S_WAITING
+    self.phys_free = phys_free
+    self.seq = seq
+    if woken:
+        self._ready_count += woken

@@ -1,78 +1,46 @@
-"""The multipipeline SMT processor — cycle-level, trace-driven.
+"""Compatibility shim: the processor now lives in ``repro.core.engine``.
 
-Models the machine of Fig. 1: a shared fetch engine feeding per-pipeline
-decoupling buffers; each pipeline privately decodes, renames, queues,
-issues and commits; all pipelines share the physical register file, the
-branch predictor and the memory hierarchy. Entire threads are bound to
-pipelines by the mapping.
+Four perf PRs grew this module into a ~1700-line monolith carrying the
+stage specializations, the warm-snapshot machinery and the scheduling
+loop in one file; it is now a package —
 
-Modeled behaviours (all load-bearing for the paper's results):
+* :mod:`repro.core.engine.state` — ROB/flag/event constants, ``Pipeline``;
+* :mod:`repro.core.engine.warm` — warm streaming/memoization/snapshots;
+* :mod:`repro.core.engine.stages` — fetch/rename/issue/writeback/commit
+  plus the (mono, SMT) stage registry;
+* :mod:`repro.core.engine.engine` — the ``Processor`` shell.
 
-* per-thread 256-entry ROBs, a shared 256-entry rename-register pool;
-* IQ/FQ/LQ occupancy per pipeline, per-class FU contention, age-ordered
-  issue within a pipeline;
-* perceptron/BTB/RAS front end with *wrong-path execution*: mispredicted
-  threads fetch junk instructions (from the basic-block-dictionary
-  equivalent) that consume fetch bandwidth, buffers, rename registers,
-  queue slots and functional units until the branch resolves;
-* I-cache/I-TLB fetch stalls; D-cache/D-TLB load latencies resolved at
-  issue; stores retire through the cache at commit;
-* the FLUSH mechanism (baseline policy): loads outstanding past the L2
-  threshold squash the thread's younger instructions and gate its fetch;
-* the hdSMT register-file tax (``reg_latency = 2``): the shared
-  multipipeline register file takes an extra cycle per access, modeled as
-  +1 cycle of result visibility per dependency edge (bypass networks
-  still forward within the execution core) and +2 cycles of front-end
-  refill after a branch mispredict (two extra pipeline stages).
-
-Implementation style: per the HPC-guide discipline the per-cycle work is
-O(machine width), not O(window). Completions are events in a *ring-buffer
-timing wheel* sized to the worst-case latency (one list index to pop a
-cycle's events, no dict hashing); wakeups walk dependent lists; ready
-instructions sit in one *merged* age-ordered heap per pipeline of
-``(seq, fu_class, thread, slot)`` entries, inserted at wakeup/rename and
-consumed oldest-first at issue (entries whose FU class has no free unit
-this cycle are parked and reinserted — the selection is provably the
-age-ordered pick across per-class queues, without the per-instruction
-three-heap scan); per-cycle FU availability lives in a persistent
-per-pipeline counter vector reset in place (no per-call allocation).
-Hot per-slot ROB state
-lives in flat preallocated parallel arrays indexed ``thread * rob_entries
-+ slot`` (one indexing level instead of two), bound to locals inside the
-stage loops; no per-instruction objects are allocated during simulation.
-``run()`` additionally *skips idle cycles*: when no instruction can
-commit, issue, rename or fetch this cycle, the clock jumps directly to
-the next scheduled event or fetch-stall expiry instead of spinning
-``step()`` — bit-identical to stepping (the skipped cycles are provably
-no-ops), but long memory stalls cost O(1) instead of O(latency).
+Every name previously importable from here re-exports the engine
+definition (same objects, not copies — asserted by
+``tests/core/test_processor_shim.py``), so existing imports, goldens
+and the lockstep suites run unchanged.
 """
 
-from __future__ import annotations
-
-import os
-import pickle
-from collections import deque
-from hashlib import sha256
-from heapq import heappush, heappop
-from typing import Dict, List, Optional, Sequence, Tuple
-
-from repro.ioutil import atomic_write_bytes
-
-from repro.branch.unit import BranchUnit
-from repro.core.config import MicroarchConfig
-from repro.core.fetch_policies import make_policy
-from repro.isa.opcodes import (
-    EXEC_LATENCY,
-    OP_BRANCH,
-    OP_CALL,
-    OP_LOAD,
-    OP_RETURN,
-    OP_STORE,
-    _FU_OF_OP,
+from repro.core.engine import (
+    EV_COMPLETE,
+    EV_FLUSHCHK,
+    FL_LOADCTR,
+    FL_MISPRED,
+    FL_WRONGPATH,
+    Pipeline,
+    Processor,
+    S_DONE,
+    S_FREE,
+    S_ISSUED,
+    S_READY,
+    S_WAITING,
+    clear_warm_cache,
+    ensure_warm_snapshot,
+    set_warm_store,
+    warm_snapshot_path,
 )
-from repro.memory.hierarchy import MemoryHierarchy
-from repro.trace.packed import PACK_FORMAT_VERSION
-from repro.trace.stream import FETCH_MASK, FETCH_SHIFT, Trace
+from repro.core.engine.state import _PK_GENERIC, _PK_ICOUNT, _PK_L1M  # noqa: F401
+from repro.core.engine.warm import (  # noqa: F401
+    _dump_warm_state,
+    _read_warm_snapshot,
+    _stream_warm,
+    _write_warm_snapshot,
+)
 
 __all__ = [
     "Processor",
@@ -81,1580 +49,14 @@ __all__ = [
     "set_warm_store",
     "ensure_warm_snapshot",
     "warm_snapshot_path",
+    "S_FREE",
+    "S_WAITING",
+    "S_READY",
+    "S_ISSUED",
+    "S_DONE",
+    "FL_WRONGPATH",
+    "FL_MISPRED",
+    "FL_LOADCTR",
+    "EV_COMPLETE",
+    "EV_FLUSHCHK",
 ]
-
-#: Salts on-disk warm-snapshot keys; bump when warm-up semantics or the
-#: dumped structure-state shapes change (v2: int-keyed TLB maps).
-_WARM_SNAPSHOT_VERSION = 2
-
-#: Memoized post-warm structure state, keyed on (memory params, thread
-#: count, trace identities). Entries hold strong references to their
-#: traces so object ids can never be recycled into a false hit; FIFO
-#: eviction bounds the footprint for one-off trace sets (composites).
-_WARM_CACHE: Dict[tuple, tuple] = {}
-_WARM_CACHE_MAX = 128
-
-#: Optional on-disk warm-snapshot store (a directory), shared between
-#: BatchRunner workers: the first process to warm a (memory params,
-#: thread count, trace set) persists the snapshot, every other process
-#: restores it instead of streaming the window. Only traces built by
-#: ``trace_for`` participate — they carry a content key; hand-built
-#: traces (tests, composites) always warm in-process.
-_WARM_STORE_DIR: Optional[str] = None
-
-
-def set_warm_store(directory: Optional[str]) -> None:
-    """Activate (None: deactivate) the process-wide warm-snapshot store."""
-    global _WARM_STORE_DIR
-    _WARM_STORE_DIR = str(directory) if directory is not None else None
-
-
-def clear_warm_cache() -> None:
-    """Drop memoized warm-up snapshots (tests / memory pressure)."""
-    _WARM_CACHE.clear()
-
-
-def _stream_warm(mem: MemoryHierarchy, unit: BranchUnit, traces) -> None:
-    """Stream every trace's batched per-structure warm sequences into the
-    given hierarchy/branch unit (the vectorized warm pass; see
-    :meth:`Processor.warm` for the bit-identity argument)."""
-    dtlb = mem.dtlb
-    l1d = mem.l1d
-    l2 = mem.l2
-    itlb = mem.itlb
-    l1i = mem.l1i
-    predictor = unit.predictor
-    btb = unit.btb
-    for t, trace in enumerate(traces):
-        seqs = trace.warm_sequences()
-        # D-side: DTLB translation stream; L1D probes; L2 sees the L1D
-        # misses (in program order, as the per-entry loop did).
-        dtlb.access_many(seqs.mem_addrs, t)
-        d_misses = l1d.access_many(seqs.mem_addrs, t, collect_misses=True)
-        l2.access_many(d_misses, t)
-        # Front end: conditional-branch training and taken-transfer
-        # target installs.
-        predictor.update_many(t, seqs.branch_pcs, seqs.branch_taken)
-        btb.update_many(t, seqs.btb_pcs, seqs.btb_targets)
-        # I-side: every correct-path PC touches ITLB + L1I.
-        itlb.access_many(seqs.fetch_pcs, t)
-        l1i.access_many(seqs.fetch_pcs, t)
-        # Wrong-path code lives in the basic-block dictionary too; a real
-        # front end finds most of it resident (its L1I misses fill from
-        # L2, as in the seed loop).
-        itlb.access_many(seqs.junk_pcs, t)
-        junk_misses = l1i.access_many(seqs.junk_pcs, t, collect_misses=True)
-        l2.access_many(junk_misses, t)
-
-
-def _dump_warm_state(mem: MemoryHierarchy, unit: BranchUnit) -> tuple:
-    return (
-        mem.l1i.dump_state(),
-        mem.l1d.dump_state(),
-        mem.l2.dump_state(),
-        mem.itlb.dump_state(),
-        mem.dtlb.dump_state(),
-        unit.predictor.dump_state(),
-        unit.btb.dump_state(),
-    )
-
-
-def warm_snapshot_path(directory: str, memory_params, num_threads: int,
-                       trace_keys) -> str:
-    """Deterministic snapshot file for one (params, trace set) identity."""
-    desc = repr((
-        _WARM_SNAPSHOT_VERSION,
-        PACK_FORMAT_VERSION,
-        memory_params,
-        num_threads,
-        tuple(trace_keys),
-    ))
-    return os.path.join(directory, sha256(desc.encode()).hexdigest() + ".warm")
-
-
-def ensure_warm_snapshot(directory: str, memory_params, traces) -> bool:
-    """Compute and persist the warm snapshot for ``traces`` if absent.
-
-    Used by the BatchRunner parent so concurrent workers load one shared
-    snapshot instead of racing to compute identical ones. Returns False
-    when any trace lacks a content key (nothing portable to store).
-    """
-    keys = []
-    for trace in traces:
-        k = getattr(trace, "key", None)
-        if k is None:
-            return False
-        keys.append(k)
-    path = warm_snapshot_path(directory, memory_params, len(traces), keys)
-    if os.path.exists(path):
-        return True
-    mem = MemoryHierarchy(memory_params, max_threads=len(traces))
-    unit = BranchUnit(max_threads=len(traces))
-    _stream_warm(mem, unit, traces)
-    _write_warm_snapshot(path, _dump_warm_state(mem, unit))
-    return True
-
-
-def _read_warm_snapshot(path: str) -> Optional[tuple]:
-    """Load a pickled warm snapshot; any corruption degrades to None (the
-    caller recomputes and overwrites)."""
-    try:
-        with open(path, "rb") as fh:
-            snap = pickle.load(fh)
-    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-            ValueError, TypeError, IndexError):
-        return None
-    if not isinstance(snap, tuple) or len(snap) != 7:
-        return None
-    return snap
-
-
-def _write_warm_snapshot(path: str, snap: tuple) -> None:
-    """Atomically persist a warm snapshot (concurrent writers race to an
-    identical, deterministic payload — last rename wins harmlessly)."""
-    try:
-        atomic_write_bytes(path, pickle.dumps(snap, pickle.HIGHEST_PROTOCOL))
-    except OSError:  # pragma: no cover - store dir vanished
-        return
-
-# ROB slot states.
-S_FREE = 0
-S_WAITING = 1
-S_READY = 2
-S_ISSUED = 3
-S_DONE = 4
-
-# Per-slot flag bits.
-FL_WRONGPATH = 1  #: fetched down a wrong path (never commits)
-FL_MISPRED = 2  #: mispredicted control instr: squash + redirect on resolve
-FL_LOADCTR = 4  #: counted in the thread's in-flight-load counter
-
-# Event kinds.
-EV_COMPLETE = 0
-EV_FLUSHCHK = 1
-
-# Fetch-policy fast paths recognized by _fetch (fall back to sort_key).
-_PK_GENERIC = 0
-_PK_ICOUNT = 1  # icount / flush: key (icount[t], t)
-_PK_L1M = 2  # l1mcount: key (inflight[t], -width, icount[t], t)
-
-
-class Pipeline:
-    """Run-time state of one pipeline (cluster)."""
-
-    __slots__ = (
-        "index",
-        "model",
-        "width",
-        "tpc",
-        "buffer",
-        "buffer_cap",
-        "iq_used",
-        "iq_cap",
-        "fu_count",
-        "fu_avail",
-        "ready",
-        "ready_counts",
-        "threads",
-        "issued_total",
-        "blocked_epoch",
-    )
-
-    def __init__(self, index: int, model) -> None:
-        self.index = index
-        self.model = model
-        self.width = model.width
-        self.tpc = model.threads_per_cycle
-        #: decoupling buffer entries: (thread, entry, trace_idx, flags)
-        self.buffer: deque = deque()
-        self.buffer_cap = model.fetch_buffer
-        self.iq_used = [0, 0, 0]  # FU_INT, FU_FP, FU_LDST
-        self.iq_cap = (model.iq_entries, model.fq_entries, model.lq_entries)
-        self.fu_count = (model.int_units, model.fp_units, model.ldst_units)
-        #: per-cycle FU availability, reset in place by the issue stage
-        #: (persistent — no per-call ``list(fu_count)`` allocation)
-        self.fu_avail: List[int] = [0, 0, 0]
-        #: merged age-ordered ready heap of (seq, fu_class, thread, slot)
-        self.ready: List[Tuple[int, int, int, int]] = []
-        #: live READY entries in the heap per FU class (stale entries are
-        #: excluded — squash decrements at squash time). The issue stage
-        #: stops scanning the moment no class has both a free unit and a
-        #: live entry, restoring the 3-heap stage's O(1) early-out when
-        #: one saturated class backs up behind the others.
-        self.ready_counts: List[int] = [0, 0, 0]
-        self.threads: List[int] = []
-        self.issued_total = 0
-        #: value of the core's resource-free epoch when this pipeline's
-        #: rename stage last head-blocked; while the epoch is unchanged no
-        #: blocking resource has been released, so re-running rename is a
-        #: provable no-op and the core skips the call.
-        self.blocked_epoch = -1
-
-    def buffer_space(self) -> int:
-        return self.buffer_cap - len(self.buffer)
-
-
-class Processor:
-    """A configured hdSMT/SMT processor executing a set of thread traces.
-
-    Parameters
-    ----------
-    config:
-        The microarchitecture (pipelines + shared parameters).
-    traces:
-        One :class:`~repro.trace.stream.Trace` per thread.
-    mapping:
-        ``mapping[thread] = pipeline_index``; must respect contexts.
-    commit_target:
-        The simulation finishes as soon as any thread has committed this
-        many correct-path instructions (the paper's stop rule).
-    """
-
-    def __init__(
-        self,
-        config: MicroarchConfig,
-        traces: Sequence[Trace],
-        mapping: Sequence[int],
-        commit_target: int,
-    ) -> None:
-        n = len(traces)
-        if n == 0:
-            raise ValueError("at least one thread required")
-        if len(mapping) != n:
-            raise ValueError("mapping length must equal thread count")
-        loads = [0] * len(config.pipelines)
-        for p in mapping:
-            if not 0 <= p < len(config.pipelines):
-                raise ValueError(f"mapping names pipeline {p}, config has "
-                                 f"{len(config.pipelines)}")
-            loads[p] += 1
-        if config.is_monolithic:
-            if loads[0] > config.contexts_for(n):
-                raise ValueError(f"{n} threads exceed contexts of {config.name}")
-        else:
-            for i, load in enumerate(loads):
-                if load > config.pipelines[i].contexts:
-                    raise ValueError(
-                        f"pipeline {i} ({config.pipelines[i].name}) of {config.name} "
-                        f"hosts {load} threads but has {config.pipelines[i].contexts} contexts"
-                    )
-        self.config = config
-        self.params = config.params
-        self.traces = list(traces)
-        self.mapping = tuple(mapping)
-        self.commit_target = commit_target
-        self.num_threads = n
-
-        self.pipelines = [Pipeline(i, m) for i, m in enumerate(config.pipelines)]
-        self.pipe_of = list(self.mapping)
-        for t, p in enumerate(self.pipe_of):
-            self.pipelines[p].threads.append(t)
-        #: pipelines with at least one thread (simulated; idle ones are off)
-        self.active_pipes = [pl for pl in self.pipelines if pl.threads]
-        #: thread -> its Pipeline object (kept in sync by dynamic remapping)
-        self._pipe_by_thread = [self.pipelines[p] for p in self.pipe_of]
-
-        #: per-thread block tables over the packed trace columns — the
-        #: fetch engine indexes these instead of materialized tuple lists
-        #: (blocks decode lazily on first touch; see Trace.fetch_view).
-        self._fetch_eblocks: List[list] = []
-        self._fetch_jblocks: List[list] = []
-        for tr in self.traces:
-            eb, jb = tr.fetch_view()
-            self._fetch_eblocks.append(eb)
-            self._fetch_jblocks.append(jb)
-
-        self.mem = MemoryHierarchy(self.params.memory, max_threads=n)
-        self.branch_unit = BranchUnit(max_threads=n)
-        self.policy = make_policy(config.fetch_policy)
-        pol = config.fetch_policy
-        if pol in ("icount", "flush"):
-            self._policy_kind = _PK_ICOUNT
-        elif pol == "l1mcount":
-            self._policy_kind = _PK_L1M
-        else:
-            self._policy_kind = _PK_GENERIC
-
-        # --- shared resources -------------------------------------------
-        self.phys_free = self.params.rename_registers
-        self.cycle = 0
-        self.seq = 0
-        self.finished = False
-
-        # --- timing wheel -------------------------------------------------
-        # Sized to the worst-case event latency: a load that misses the
-        # D-TLB, both cache levels, plus the register-file tax; any event
-        # is scheduled strictly less than `size` cycles ahead, so slot
-        # (cycle & mask) holds exactly cycle's events. `_far_events` is a
-        # safety net for out-of-horizon schedules (custom parameter sets).
-        m = self.params.memory
-        horizon = (
-            m.tlb_miss_penalty
-            + m.l1_latency
-            + m.l1_miss_penalty
-            + m.memory_latency
-            + max(EXEC_LATENCY)
-            + self.params.extra_reg_cycles
-            + m.flush_threshold
-            + 8
-        )
-        size = 1 << horizon.bit_length()
-        if size < 64:
-            size = 64
-        self._wheel: List[Optional[List[tuple]]] = [None] * size
-        self._wheel_mask = size - 1
-        self._far_events: Dict[int, List[tuple]] = {}
-        #: count of instructions currently in state S_READY (for idle skip)
-        self._ready_count = 0
-        #: per-thread "ROB head is DONE" flags + their count: ~60% of
-        #: cycles have nothing to commit, so the commit stage is gated on
-        #: ``_commitable`` (a gated commit is provably a no-op: it would
-        #: only advance the fairness rotor, which the gate does directly).
-        self._head_done = [False] * n
-        self._commitable = 0
-        #: bumped whenever a rename-blocking resource frees (IQ/FQ/LQ slot,
-        #: ROB slot, rename register, buffer purge); pipelines record it at
-        #: head-block time so provably-still-blocked rename calls skip.
-        self._free_epoch = 0
-
-        # --- per-thread front-end state ----------------------------------
-        self.fetch_idx = [0] * n
-        self.wrong_path = [False] * n
-        self.junk_idx = [0] * n
-        self.fetch_stall_until = [0] * n
-        self.flush_wait = [False] * n
-        self.flush_load_slot = [-1] * n
-        self.epoch = [0] * n
-        self.icount = [0] * n
-        self.inflight_loads = [0] * n
-        self.committed = [0] * n
-
-        # --- per-thread ROB: flat parallel arrays, slot = t * r + idx -----
-        r = self.params.rob_entries
-        self.rob_entries = r
-        self.rob_head = [0] * n
-        self.rob_tail = [0] * n
-        self.rob_count = [0] * n
-        nr = n * r
-        self._rob_entry: List[Optional[tuple]] = [None] * nr
-        self._rob_state = [S_FREE] * nr
-        self._rob_pending = [0] * nr
-        #: per-slot dependent lists, allocated lazily on the first edge
-        #: (most slots in short screening runs never grow a dependent)
-        self._rob_deps: List[Optional[List[Tuple[int, int]]]] = [None] * nr
-        self._rob_traceidx = [-1] * nr
-        self._rob_prevprod = [-1] * nr
-        self._rob_prevseq = [-1] * nr
-        self._rob_seq = [-1] * nr
-        self._rob_epoch = [0] * nr
-        self._rob_flags = [0] * nr
-        #: one-lookup bundle for the stage prologues (unpacked into locals)
-        self._rob_arrays = (
-            self._rob_entry,
-            self._rob_state,
-            self._rob_pending,
-            self._rob_deps,
-            self._rob_traceidx,
-            self._rob_prevprod,
-            self._rob_prevseq,
-            self._rob_seq,
-            self._rob_epoch,
-            self._rob_flags,
-        )
-
-        #: rename map: logical reg -> producing ROB slot (-1 = value ready)
-        self.reg_map = [[-1] * 64 for _ in range(n)]
-
-        # --- hoisted hot parameters --------------------------------------
-        self._extra_reg = self.params.extra_reg_cycles
-        self._l1_lat = m.l1_latency
-        self._flush_thr = m.flush_threshold
-        self._fetch_width = self.params.fetch_width
-        self._fetch_threads = self.params.fetch_threads
-        self._redirect_stall = (
-            self.params.branch_redirect_penalty + 2 * self.params.extra_reg_cycles
-        )
-
-        # --- statistics ------------------------------------------------------
-        self.stat_fetched = [0] * n
-        self.stat_wrongpath_fetched = [0] * n
-        self.stat_mispredicts = [0] * n
-        self.stat_flushes = [0] * n
-        self.stat_squashed = [0] * n
-        self.stat_icache_stalls = 0
-        self.stat_btb_bubbles = 0
-
-        self._commit_rotor = 0
-        self._warmed = False
-
-        # --- stage dispatch ----------------------------------------------
-        # Monolithic configurations (the M8 baseline — a fixed ~15% of
-        # every sweep that only responds to engine gains) run specialized
-        # single-pipeline commit/issue/fetch stages: one shared decoupling
-        # buffer, no per-thread pipeline indirection, no outer pipeline
-        # loops. Provably the same work in the same order, so results are
-        # bit-identical (pinned by the golden-equivalence suite).
-        if config.is_monolithic:
-            self._commit_impl = self._commit_mono
-            self._fetch_impl = self._fetch_mono
-            self._issue_impl = self._issue_mono
-        else:
-            self._commit_impl = self._commit
-            self._fetch_impl = self._fetch
-            self._issue_impl = self._issue_all
-
-    # ------------------------------------------------- compatibility views
-
-    def _nested(self, flat: list) -> List[list]:
-        r = self.rob_entries
-        return [flat[t * r:(t + 1) * r] for t in range(self.num_threads)]
-
-    @property
-    def rob_entry(self) -> List[list]:
-        """Per-thread view of the flat ROB entry array (read-only copy)."""
-        return self._nested(self._rob_entry)
-
-    @property
-    def rob_state(self) -> List[list]:
-        return self._nested(self._rob_state)
-
-    @property
-    def rob_pending(self) -> List[list]:
-        return self._nested(self._rob_pending)
-
-    @property
-    def rob_deps(self) -> List[list]:
-        return self._nested(self._rob_deps)
-
-    @property
-    def rob_traceidx(self) -> List[list]:
-        return self._nested(self._rob_traceidx)
-
-    @property
-    def rob_prevprod(self) -> List[list]:
-        return self._nested(self._rob_prevprod)
-
-    @property
-    def rob_prevseq(self) -> List[list]:
-        return self._nested(self._rob_prevseq)
-
-    @property
-    def rob_seq(self) -> List[list]:
-        return self._nested(self._rob_seq)
-
-    @property
-    def rob_epoch(self) -> List[list]:
-        return self._nested(self._rob_epoch)
-
-    @property
-    def rob_flags(self) -> List[list]:
-        return self._nested(self._rob_flags)
-
-    @property
-    def events(self) -> Dict[int, List[tuple]]:
-        """Pending events as {absolute_cycle: [(kind, t, slot, epoch), ...]}.
-
-        Reconstructed from the timing wheel (a compatibility/debugging
-        view; the hot path never builds this dict).
-        """
-        out: Dict[int, List[tuple]] = {}
-        cyc = self.cycle
-        wheel = self._wheel
-        mask = self._wheel_mask
-        for d in range(len(wheel)):
-            evs = wheel[(cyc + d) & mask]
-            if evs:
-                out[cyc + d] = list(evs)
-        for when, evs in self._far_events.items():
-            out.setdefault(when, []).extend(evs)
-        return out
-
-    # ------------------------------------------------------------------ warm
-
-    def warm(self) -> None:
-        """Warm caches, TLBs and predictors with each thread's window.
-
-        The paper measures steady-state segments of 300M instructions; our
-        short windows would otherwise be dominated by compulsory misses
-        and an untrained perceptron. Statistics accumulated here are reset
-        by the caller via fresh counters (see ``run_simulation``).
-
-        The warm pass is *vectorized*: instead of dispatching on every
-        trace entry, each structure consumes its precomputed access
-        sequence (:meth:`Trace.warm_sequences`, derived from the packed
-        columns) in one batched call. The modeled structures are mutually
-        independent and every structure sees exactly the per-entry loop's
-        access subsequence in the same order, so the post-warm state is
-        bit-identical to the seed implementation — the golden-equivalence
-        suite pins this.
-
-        Warming is deterministic in (traces, memory params, thread count)
-        when the processor is fresh, so the post-warm structure state is
-        memoized process-wide: the oracle mapping sweeps re-simulate the
-        same workload dozens of times and every run after the first
-        restores the snapshot (bit-identical, including warm-time
-        statistics) instead of streaming the window again. With a warm
-        store active (:func:`set_warm_store`), snapshots are additionally
-        shared across processes through the store directory.
-        """
-        mem = self.mem
-        unit = self.branch_unit
-        fresh = not self._warmed and self.cycle == 0 and self.seq == 0
-        key = None
-        disk_path = None
-        if fresh:
-            key = (
-                self.params.memory,
-                self.num_threads,
-                tuple(id(t) for t in self.traces),
-            )
-            cached = _WARM_CACHE.get(key)
-            if cached is not None and all(
-                a is b for a, b in zip(cached[0], self.traces)
-            ):
-                self._load_warm_snapshot(cached[1:])
-                self._warmed = True
-                return
-            disk_path = self._warm_store_path()
-            if disk_path is not None:
-                snap = _read_warm_snapshot(disk_path)
-                if snap is not None:
-                    self._load_warm_snapshot(snap)
-                    self._remember_warm(key, snap)
-                    self._warmed = True
-                    return
-        self._warmed = True
-        _stream_warm(mem, unit, self.traces)
-        if fresh:
-            snap = _dump_warm_state(mem, unit)
-            self._remember_warm(key, snap)
-            if disk_path is not None:
-                _write_warm_snapshot(disk_path, snap)
-
-    def _load_warm_snapshot(self, snap: tuple) -> None:
-        """Restore the 7 structure states of a warm snapshot."""
-        l1i, l1d, l2, itlb, dtlb, pred, btb = snap
-        mem = self.mem
-        mem.l1i.load_state(l1i)
-        mem.l1d.load_state(l1d)
-        mem.l2.load_state(l2)
-        mem.itlb.load_state(itlb)
-        mem.dtlb.load_state(dtlb)
-        self.branch_unit.predictor.load_state(pred)
-        self.branch_unit.btb.load_state(btb)
-
-    def _remember_warm(self, key: tuple, snap: tuple) -> None:
-        if len(_WARM_CACHE) >= _WARM_CACHE_MAX:
-            _WARM_CACHE.pop(next(iter(_WARM_CACHE)))
-        _WARM_CACHE[key] = (tuple(self.traces),) + snap
-
-    def _warm_store_path(self) -> Optional[str]:
-        """Snapshot file for this (params, traces) set, or None when the
-        store is off or any trace lacks a content key."""
-        directory = _WARM_STORE_DIR
-        if directory is None:
-            return None
-        keys = []
-        for trace in self.traces:
-            k = getattr(trace, "key", None)
-            if k is None:
-                return None
-            keys.append(k)
-        return warm_snapshot_path(directory, self.params.memory,
-                                  self.num_threads, keys)
-
-    # ------------------------------------------------------------------- run
-
-    def run(self, max_cycles: Optional[int] = None) -> int:
-        """Simulate until a thread reaches the commit target (or the cycle
-        cap, a safety net). Returns the cycle count.
-
-        Idle cycles — no event due, nothing ready to issue, nothing to
-        commit, rename or fetch — are skipped in O(1): the clock jumps to
-        the next scheduled event or fetch-stall expiry. The jump is
-        clamped to ``max_cycles`` so skipping can never overshoot the
-        safety cap.
-        """
-        if max_cycles is None:
-            max_cycles = 400 * self.commit_target + 10_000
-        wheel = self._wheel
-        mask = self._wheel_mask
-        size = mask + 1
-        far = self._far_events
-        flush_wait = self.flush_wait
-        stall = self.fetch_stall_until
-        active = self.active_pipes
-        n = self.num_threads
-        commit = self._commit_impl
-        writeback = self._writeback
-        issue_stage = self._issue_impl
-        rename = self._rename
-        fetch = self._fetch_impl
-        while not self.finished:
-            cyc = self.cycle
-            if cyc >= max_cycles:
-                break
-            # --- idle-cycle fast path -----------------------------------
-            # A cycle is provably a no-op when: no event fires now, no
-            # instruction is READY, no ROB head is DONE, every decoupling
-            # buffer is empty (nothing to rename) and every thread's fetch
-            # is gated (flush-wait or stalled). Until the next event /
-            # stall expiry the machine state cannot change, so the skipped
-            # cycles are bit-identical to stepping through them.
-            if (
-                self._ready_count == 0
-                and self._commitable == 0
-                and not wheel[cyc & mask]
-                and (not far or cyc not in far)
-            ):
-                idle = True
-                for t in range(n):
-                    if not flush_wait[t] and cyc >= stall[t]:
-                        idle = False
-                        break
-                if idle:
-                    for pl in active:
-                        if pl.buffer:
-                            idle = False
-                            break
-                if idle:
-                    wake = max_cycles
-                    for d in range(1, size):
-                        if wheel[(cyc + d) & mask]:
-                            if cyc + d < wake:
-                                wake = cyc + d
-                            break
-                    if far:
-                        nxt = min(far)
-                        if nxt < wake:
-                            wake = nxt
-                    for t in range(n):
-                        if not flush_wait[t]:
-                            s = stall[t]
-                            if cyc < s < wake:
-                                wake = s
-                    if wake <= cyc:  # pragma: no cover - defensive
-                        wake = cyc + 1
-                    # The commit rotor advances once per cycle (even idle
-                    # ones) in step(); account for the skipped cycles.
-                    self._commit_rotor += wake - cyc
-                    self.cycle = wake
-                    continue
-            # --- one cycle (same stage order as step()) -----------------
-            if self._commitable:
-                commit()
-            else:
-                # A commit with no DONE head only advances the fairness
-                # rotor; do that directly.
-                self._commit_rotor += 1
-            if wheel[cyc & mask] or far:
-                writeback()
-            if self._ready_count:
-                issue_stage()
-            free_epoch = self._free_epoch
-            for pl in active:
-                if pl.buffer and pl.blocked_epoch != free_epoch:
-                    rename(pl)
-            fetch()
-            self.cycle = cyc + 1
-        return self.cycle
-
-    def step(self) -> None:
-        """Advance one cycle: commit, writeback, issue, rename, fetch."""
-        if self._commitable:
-            self._commit_impl()
-        else:
-            self._commit_rotor += 1
-        if self._wheel[self.cycle & self._wheel_mask] or self._far_events:
-            self._writeback()
-        if self._ready_count:
-            self._issue_impl()
-        free_epoch = self._free_epoch
-        for pl in self.active_pipes:
-            if pl.buffer and pl.blocked_epoch != free_epoch:
-                self._rename(pl)
-        self._fetch_impl()
-        self.cycle += 1
-
-    # ---------------------------------------------------------------- commit
-
-    def _commit(self) -> None:
-        entries, states, _, deps, _, _, _, _, _, _ = self._rob_arrays
-        heads = self.rob_head
-        counts = self.rob_count
-        committed = self.committed
-        reg_maps = self.reg_map
-        mem_store = self.mem.retire_store
-        r = self.rob_entries
-        target = self.commit_target
-        phys_free = self.phys_free
-        rotor = self._commit_rotor
-        self._commit_rotor = rotor + 1
-        head_done = self._head_done
-        for pl in self.active_pipes:
-            budget = pl.width
-            threads = pl.threads
-            nt = len(threads)
-            for k in range(nt):
-                if budget <= 0:
-                    break
-                t = threads[(rotor + k) % nt]
-                head = heads[t]
-                count = counts[t]
-                base = t * r
-                if not count or states[base + head] != S_DONE:
-                    continue
-                rmap = reg_maps[t]
-                c = committed[t]
-                while budget > 0 and count > 0 and states[base + head] == S_DONE:
-                    i = base + head
-                    e = entries[i]
-                    if e[0] == OP_STORE:
-                        mem_store(e[4], t)
-                    dest = e[1]
-                    if dest >= 0:
-                        phys_free += 1
-                        if rmap[dest] == head:
-                            rmap[dest] = -1
-                    states[i] = S_FREE
-                    d = deps[i]
-                    if d:
-                        d.clear()
-                    head += 1
-                    if head == r:
-                        head = 0
-                    count -= 1
-                    budget -= 1
-                    c += 1
-                    if c >= target:
-                        self.finished = True
-                committed[t] = c
-                heads[t] = head
-                counts[t] = count
-                # Keep the commit gate exact: the head either still holds
-                # a DONE instruction (budget ran out mid-stream) or the
-                # thread leaves the commitable set.
-                if not (count and states[base + head] == S_DONE):
-                    head_done[t] = False
-                    self._commitable -= 1
-        self.phys_free = phys_free
-        # ROB slots / rename registers were released (the gate guarantees
-        # at least one pop happened): blocked rename stages may proceed.
-        self._free_epoch += 1
-
-    def _commit_mono(self) -> None:
-        """Single-pipeline commit: the generic stage with the pipeline
-        loop collapsed (one pipeline hosts every thread), same rotor
-        order and budget accounting — bit-identical to :meth:`_commit`."""
-        entries, states, _, deps, _, _, _, _, _, _ = self._rob_arrays
-        heads = self.rob_head
-        counts = self.rob_count
-        committed = self.committed
-        reg_maps = self.reg_map
-        mem_store = self.mem.retire_store
-        r = self.rob_entries
-        target = self.commit_target
-        phys_free = self.phys_free
-        rotor = self._commit_rotor
-        self._commit_rotor = rotor + 1
-        head_done = self._head_done
-        pl = self.active_pipes[0]
-        budget = pl.width
-        threads = pl.threads
-        nt = len(threads)
-        for k in range(nt):
-            if budget <= 0:
-                break
-            t = threads[(rotor + k) % nt]
-            head = heads[t]
-            count = counts[t]
-            base = t * r
-            if not count or states[base + head] != S_DONE:
-                continue
-            rmap = reg_maps[t]
-            c = committed[t]
-            while budget > 0 and count > 0 and states[base + head] == S_DONE:
-                i = base + head
-                e = entries[i]
-                if e[0] == OP_STORE:
-                    mem_store(e[4], t)
-                dest = e[1]
-                if dest >= 0:
-                    phys_free += 1
-                    if rmap[dest] == head:
-                        rmap[dest] = -1
-                states[i] = S_FREE
-                d = deps[i]
-                if d:
-                    d.clear()
-                head += 1
-                if head == r:
-                    head = 0
-                count -= 1
-                budget -= 1
-                c += 1
-                if c >= target:
-                    self.finished = True
-            committed[t] = c
-            heads[t] = head
-            counts[t] = count
-            if not (count and states[base + head] == S_DONE):
-                head_done[t] = False
-                self._commitable -= 1
-        self.phys_free = phys_free
-        self._free_epoch += 1
-
-    # ------------------------------------------------------------- writeback
-
-    def _writeback(self) -> None:
-        cyc = self.cycle
-        idx = cyc & self._wheel_mask
-        evs = self._wheel[idx]
-        if evs is not None:
-            self._wheel[idx] = None
-            if self._far_events:
-                more = self._far_events.pop(cyc, None)
-                if more:
-                    evs.extend(more)
-        else:
-            if not self._far_events:
-                return
-            evs = self._far_events.pop(cyc, None)
-            if not evs:
-                return
-        epochs = self._rob_epoch
-        states = self._rob_state
-        r = self.rob_entries
-        for kind, t, slot, ep in evs:
-            i = t * r + slot
-            if epochs[i] != ep:
-                continue
-            if kind == EV_COMPLETE:
-                if states[i] != S_ISSUED:
-                    continue
-                self._complete(t, slot)
-            else:  # EV_FLUSHCHK: load still outstanding past the threshold?
-                if states[i] == S_ISSUED:
-                    self._do_flush(t, slot)
-
-    def _complete(self, t: int, slot: int) -> None:
-        r = self.rob_entries
-        base = t * r
-        i = base + slot
-        entries, states, pend, deps_arr, tidx_arr, _, _, seqs, epochs, \
-            flags_arr = self._rob_arrays
-        states[i] = S_DONE
-        if slot == self.rob_head[t] and not self._head_done[t]:
-            self._head_done[t] = True
-            self._commitable += 1
-        flags = flags_arr[i]
-        if flags & FL_LOADCTR:
-            flags_arr[i] = flags & ~FL_LOADCTR
-            self.inflight_loads[t] -= 1
-            if self.flush_wait[t] and self.flush_load_slot[t] == slot:
-                self.flush_wait[t] = False
-                self.flush_load_slot[t] = -1
-        # Wake dependents.
-        deps = deps_arr[i]
-        if deps:
-            fu_of = _FU_OF_OP
-            pl = self._pipe_by_thread[t]
-            ready = pl.ready
-            ready_counts = pl.ready_counts
-            woken = 0
-            for d, dep_ep in deps:
-                j = base + d
-                if epochs[j] != dep_ep:
-                    continue
-                p = pend[j] - 1
-                pend[j] = p
-                if p == 0 and states[j] == S_WAITING:
-                    states[j] = S_READY
-                    fu = fu_of[entries[j][0]]
-                    heappush(ready, (seqs[j], fu, t, d))
-                    ready_counts[fu] += 1
-                    woken += 1
-            if woken:
-                self._ready_count += woken
-            deps.clear()
-        # Branch resolution.
-        e = entries[i]
-        op = e[0]
-        if op == OP_BRANCH or op == OP_CALL or op == OP_RETURN:
-            tidx = tidx_arr[i]
-            taken = bool(e[5])
-            if tidx >= 0:
-                target = self.traces[t].next_pc(tidx) if taken else e[6] + 4
-                self.branch_unit.resolve(t, e[6], op, taken, target)
-            if flags_arr[i] & FL_MISPRED:
-                flags_arr[i] &= ~FL_MISPRED
-                self.stat_mispredicts[t] += 1
-                self._squash_after(t, slot)
-                self.wrong_path[t] = False
-                if tidx >= 0:
-                    self.fetch_idx[t] = tidx + 1
-                # The redirect overrides any stall the wrong path incurred
-                # (e.g. a wrong-path I-cache miss): fetch restarts at the
-                # correct target after the front-end refill bubble. The
-                # 2-cycle hdSMT register file deepens the pipeline, so the
-                # refill grows by one cycle per extra read/write stage.
-                self.fetch_stall_until[t] = self.cycle + self._redirect_stall
-
-    def _do_flush(self, t: int, load_slot: int) -> None:
-        """FLUSH policy: squash everything younger than the L2-missing
-        load and gate the thread's fetch until the load completes."""
-        self.stat_flushes[t] += 1
-        self._squash_after(t, load_slot)
-        self.wrong_path[t] = False
-        self.flush_wait[t] = True
-        self.flush_load_slot[t] = load_slot
-        self.fetch_idx[t] = self._rob_traceidx[t * self.rob_entries + load_slot] + 1
-        # Any wrong-path fetch stall dies with the flush.
-        self.fetch_stall_until[t] = self.cycle
-
-    # ---------------------------------------------------------------- squash
-
-    def _squash_after(self, t: int, bslot: int) -> None:
-        """Squash every instruction of ``t`` younger than ``bslot``:
-        roll the ROB tail back, release queue slots / rename registers /
-        load counters, restore the rename map, purge the fetch buffer."""
-        self.epoch[t] += 1
-        self._free_epoch += 1  # buffer/queue/register release: unblock rename
-        pl = self._pipe_by_thread[t]
-        # Purge this thread's not-yet-renamed entries from the buffer
-        # (they are all younger than anything in the ROB).
-        buf = pl.buffer
-        if buf:
-            kept = [it for it in buf if it[0] != t]
-            removed = len(buf) - len(kept)
-            if removed:
-                buf.clear()
-                buf.extend(kept)
-                self.icount[t] -= removed
-                self.stat_squashed[t] += removed
-        r = self.rob_entries
-        base = t * r
-        tail = self.rob_tail[t]
-        # bslot is an occupied slot, so the strictly-younger range is
-        # bslot+1 .. tail-1 in ring order.
-        n_squash = (tail - bslot - 1) % r
-        if not n_squash:
-            self.rob_tail[t] = tail
-            return
-        states = self._rob_state
-        entries = self._rob_entry
-        flags_arr = self._rob_flags
-        deps = self._rob_deps
-        prevprods = self._rob_prevprod
-        prevseqs = self._rob_prevseq
-        seqs = self._rob_seq
-        reg_map = self.reg_map[t]
-        iq_used = pl.iq_used
-        ready_counts = pl.ready_counts
-        fu_of = _FU_OF_OP
-        phys_free = self.phys_free
-        icount_drop = 0
-        ready_drop = 0
-        for _ in range(n_squash):
-            tail = tail - 1 if tail else r - 1
-            i = base + tail
-            st = states[i]
-            e = entries[i]
-            if st == S_WAITING or st == S_READY:
-                fu = fu_of[e[0]]
-                iq_used[fu] -= 1
-                icount_drop += 1
-                if st == S_READY:
-                    ready_drop += 1
-                    # The heap entry goes stale; only the live count says
-                    # so before the lazy pop reaches it.
-                    ready_counts[fu] -= 1
-            elif st == S_ISSUED:
-                if flags_arr[i] & FL_LOADCTR:
-                    self.inflight_loads[t] -= 1
-            dest = e[1]
-            if dest >= 0:
-                phys_free += 1
-                if reg_map[dest] == tail:
-                    prev = prevprods[i]
-                    if (
-                        prev >= 0
-                        and seqs[base + prev] == prevseqs[i]
-                        and states[base + prev] != S_FREE
-                    ):
-                        reg_map[dest] = prev
-                    else:
-                        reg_map[dest] = -1
-            states[i] = S_FREE
-            flags_arr[i] = 0
-            d = deps[i]
-            if d:
-                d.clear()
-        self.phys_free = phys_free
-        self.icount[t] -= icount_drop
-        if ready_drop:
-            self._ready_count -= ready_drop
-        self.rob_count[t] -= n_squash
-        self.stat_squashed[t] += n_squash
-        self.rob_tail[t] = tail
-
-    # ----------------------------------------------------------------- issue
-
-    def _issue_all(self) -> None:
-        """Generic issue stage: every pipeline with ready entries."""
-        issue = self._issue
-        for pl in self.active_pipes:
-            if pl.ready:
-                issue(pl)
-
-    def _issue_mono(self) -> None:
-        """Single-pipeline issue stage: :meth:`_issue` with the pipeline
-        loop and per-call dispatch collapsed (one pipeline hosts every
-        thread), same merged-heap pick order and wheel scheduling — bit-
-        identical to the generic stage (pinned by the golden suite)."""
-        pl = self.active_pipes[0]
-        heap = pl.ready
-        if not heap:
-            return
-        budget = pl.width
-        fu_avail = pl.fu_avail
-        ready_counts = pl.ready_counts
-        c0, c1, c2 = pl.fu_count
-        fu_avail[0] = c0
-        fu_avail[1] = c1
-        fu_avail[2] = c2
-        entries, states, _, _, tidx_arr, _, _, seqs, epochs, flags_arr = \
-            self._rob_arrays
-        iq_used = pl.iq_used
-        icount = self.icount
-        mem_load = self.mem.load_latency
-        r = self.rob_entries
-        extra = self._extra_reg
-        l1_lat = self._l1_lat
-        flush_thr = self._flush_thr
-        cyc = self.cycle
-        wheel = self._wheel
-        mask = self._wheel_mask
-        size = mask + 1
-        flushing = self.policy.flushing
-        issued = 0
-        deferred: List[tuple] = []
-        while budget > 0 and heap:
-            head = heap[0]
-            s, fu, t, slot = head
-            i = t * r + slot
-            if states[i] != S_READY or seqs[i] != s:
-                heappop(heap)  # stale (squashed or recycled slot)
-                continue
-            if fu_avail[fu] <= 0:
-                heappop(heap)
-                deferred.append(head)
-                ready_counts[fu] -= 1
-                if not (
-                    (fu_avail[0] > 0 and ready_counts[0] > 0)
-                    or (fu_avail[1] > 0 and ready_counts[1] > 0)
-                    or (fu_avail[2] > 0 and ready_counts[2] > 0)
-                ):
-                    break
-                continue
-            heappop(heap)
-            fu_avail[fu] -= 1
-            ready_counts[fu] -= 1
-            budget -= 1
-            states[i] = S_ISSUED
-            issued += 1
-            iq_used[fu] -= 1
-            icount[t] -= 1
-            e = entries[i]
-            op = e[0]
-            if op == OP_LOAD:
-                rlat = mem_load(e[4], t)
-                lat = rlat + extra
-                if rlat > l1_lat:
-                    self.inflight_loads[t] += 1
-                    flags_arr[i] |= FL_LOADCTR
-                if (
-                    flushing
-                    and rlat > flush_thr
-                    and tidx_arr[i] >= 0
-                    and not self.flush_wait[t]
-                ):
-                    when = cyc + flush_thr
-                    item = (EV_FLUSHCHK, t, slot, epochs[i])
-                    wi = when & mask
-                    lst = wheel[wi]
-                    if lst is None:
-                        wheel[wi] = [item]
-                    else:
-                        lst.append(item)
-            else:
-                lat = EXEC_LATENCY[op] + extra
-            if lat <= 0:
-                lat = 1
-            item = (EV_COMPLETE, t, slot, epochs[i])
-            if lat < size:
-                wi = (cyc + lat) & mask
-                lst = wheel[wi]
-                if lst is None:
-                    wheel[wi] = [item]
-                else:
-                    lst.append(item)
-            else:  # pragma: no cover - out-of-horizon (custom params) safety
-                self._far_events.setdefault(cyc + lat, []).append(item)
-        for item in deferred:
-            heappush(heap, item)
-            ready_counts[item[1]] += 1
-        if issued:
-            pl.issued_total += issued
-            self._ready_count -= issued
-            self._free_epoch += 1  # queue slots freed: unblock rename
-
-    def _issue(self, pl: Pipeline) -> None:
-        """Issue up to ``width`` ready instructions, oldest first.
-
-        The merged ready heap orders every ready instruction of the
-        pipeline by global age (``seq``); each pick takes the heap head
-        unless its FU class has no free unit this cycle, in which case
-        the entry is *parked* and the scan continues with the next-oldest
-        — exactly the age-ordered pick across per-class queues the
-        three-heap stage computed, without the per-instruction scan over
-        all three heads. Parked entries are pushed back after the loop
-        (they stay READY; only this cycle's units were taken). Stale
-        heads (squashed or recycled slots) are dropped lazily, as before.
-        """
-        budget = pl.width
-        heap = pl.ready
-        fu_avail = pl.fu_avail
-        ready_counts = pl.ready_counts
-        c0, c1, c2 = pl.fu_count
-        fu_avail[0] = c0
-        fu_avail[1] = c1
-        fu_avail[2] = c2
-        entries, states, _, _, tidx_arr, _, _, seqs, epochs, flags_arr = \
-            self._rob_arrays
-        iq_used = pl.iq_used
-        icount = self.icount
-        mem_load = self.mem.load_latency
-        r = self.rob_entries
-        extra = self._extra_reg
-        l1_lat = self._l1_lat
-        flush_thr = self._flush_thr
-        cyc = self.cycle
-        wheel = self._wheel
-        mask = self._wheel_mask
-        size = mask + 1
-        flushing = self.policy.flushing
-        issued = 0
-        deferred: List[tuple] = []
-        while budget > 0 and heap:
-            head = heap[0]
-            s, fu, t, slot = head
-            i = t * r + slot
-            if states[i] != S_READY or seqs[i] != s:
-                heappop(heap)  # stale (squashed or recycled slot)
-                continue
-            if fu_avail[fu] <= 0:
-                # This class's units are taken: park the entry, keep
-                # scanning younger instructions of the other classes —
-                # but only while some class still has both a free unit
-                # and a live entry left in the heap (the 3-heap stage's
-                # O(1) early-out, kept exact by the live counts).
-                heappop(heap)
-                deferred.append(head)
-                ready_counts[fu] -= 1
-                if not (
-                    (fu_avail[0] > 0 and ready_counts[0] > 0)
-                    or (fu_avail[1] > 0 and ready_counts[1] > 0)
-                    or (fu_avail[2] > 0 and ready_counts[2] > 0)
-                ):
-                    break  # nothing issuable remains this cycle
-                continue
-            heappop(heap)
-            fu_avail[fu] -= 1
-            ready_counts[fu] -= 1
-            budget -= 1
-            states[i] = S_ISSUED
-            issued += 1
-            iq_used[fu] -= 1
-            icount[t] -= 1
-            e = entries[i]
-            op = e[0]
-            if op == OP_LOAD:
-                rlat = mem_load(e[4], t)
-                lat = rlat + extra
-                # The L1MCOUNT policy (a DCache-Warn variant) gates fetch
-                # on loads *likely to miss*: only loads that outlive an L1
-                # hit count toward the thread's in-flight-load priority.
-                if rlat > l1_lat:
-                    self.inflight_loads[t] += 1
-                    flags_arr[i] |= FL_LOADCTR
-                if (
-                    flushing
-                    and rlat > flush_thr
-                    and tidx_arr[i] >= 0
-                    and not self.flush_wait[t]
-                ):
-                    when = cyc + flush_thr
-                    item = (EV_FLUSHCHK, t, slot, epochs[i])
-                    wi = when & mask
-                    lst = wheel[wi]
-                    if lst is None:
-                        wheel[wi] = [item]
-                    else:
-                        lst.append(item)
-            else:
-                lat = EXEC_LATENCY[op] + extra
-            if lat <= 0:
-                lat = 1
-            item = (EV_COMPLETE, t, slot, epochs[i])
-            if lat < size:
-                wi = (cyc + lat) & mask
-                lst = wheel[wi]
-                if lst is None:
-                    wheel[wi] = [item]
-                else:
-                    lst.append(item)
-            else:  # pragma: no cover - out-of-horizon (custom params) safety
-                self._far_events.setdefault(cyc + lat, []).append(item)
-        for item in deferred:
-            heappush(heap, item)
-            ready_counts[item[1]] += 1
-        if issued:
-            pl.issued_total += issued
-            self._ready_count -= issued
-            self._free_epoch += 1  # queue slots freed: unblock rename
-
-    # ---------------------------------------------------------------- rename
-
-    def _rename(self, pl: Pipeline) -> None:
-        buf = pl.buffer
-        if not buf:
-            return
-        # Cheap head-blocked test before the full prologue: if the oldest
-        # buffered instruction cannot rename, the in-order rename stage
-        # does nothing this cycle (identical to breaking out immediately).
-        t0, e0, _, _ = buf[0]
-        fu0 = _FU_OF_OP[e0[0]]
-        if (
-            pl.iq_used[fu0] >= pl.iq_cap[fu0]
-            or self.rob_count[t0] >= self.rob_entries
-            or (e0[1] >= 0 and self.phys_free <= 0)
-        ):
-            # Until a blocking resource frees (the free-epoch advances),
-            # re-running rename is a provable no-op — skip those calls.
-            pl.blocked_epoch = self._free_epoch
-            return
-        budget = pl.width
-        tpc = pl.tpc
-        # Threads-per-cycle gate: a pipeline hosting no more threads than
-        # rename accepts per cycle can never trip the limit (its buffer
-        # only ever holds its own threads), so the membership bookkeeping
-        # is skipped; otherwise a bitmask replaces the seed's list scans.
-        track_tpc = len(pl.threads) > tpc
-        new_thread = False
-        seen_mask = 0
-        nseen = 0
-        iq_used = pl.iq_used
-        iq_cap = pl.iq_cap
-        ready = pl.ready
-        ready_counts = pl.ready_counts
-        r = self.rob_entries
-        (entries, states, pend_arr, deps, tidx_arr, prevprods, prevseqs,
-         seqs, epoch_arr, flags_arr) = self._rob_arrays
-        rob_tail = self.rob_tail
-        rob_count = self.rob_count
-        reg_maps = self.reg_map
-        epochs_t = self.epoch
-        fu_of = _FU_OF_OP
-        phys_free = self.phys_free
-        seq = self.seq
-        woken = 0
-        while budget > 0 and buf:
-            t, e, tidx, flags = buf[0]
-            if track_tpc:
-                new_thread = not ((seen_mask >> t) & 1)
-                if new_thread and nseen >= tpc:
-                    break
-            op = e[0]
-            fu = fu_of[op]
-            if iq_used[fu] >= iq_cap[fu]:
-                break
-            if rob_count[t] >= r:
-                break
-            dest = e[1]
-            if dest >= 0 and phys_free <= 0:
-                break
-            buf.popleft()
-            if new_thread:
-                seen_mask |= 1 << t
-                nseen += 1
-            budget -= 1
-            slot = rob_tail[t]
-            rob_tail[t] = slot + 1 if slot + 1 < r else 0
-            rob_count[t] += 1
-            base = t * r
-            i = base + slot
-            entries[i] = e
-            tidx_arr[i] = tidx
-            ep = epochs_t[t]
-            epoch_arr[i] = ep
-            flags_arr[i] = flags
-            seqs[i] = seq
-            myseq = seq
-            seq += 1
-            # Source dependences (must read the map before the dest write).
-            pending = 0
-            reg_map = reg_maps[t]
-            src = e[2]
-            if src >= 0:
-                prod = reg_map[src]
-                if prod >= 0 and states[base + prod] < S_DONE:
-                    pending += 1
-                    dl = deps[base + prod]
-                    if dl is None:
-                        deps[base + prod] = [(slot, ep)]
-                    else:
-                        dl.append((slot, ep))
-            src = e[3]
-            if src >= 0:
-                prod = reg_map[src]
-                if prod >= 0 and states[base + prod] < S_DONE:
-                    pending += 1
-                    dl = deps[base + prod]
-                    if dl is None:
-                        deps[base + prod] = [(slot, ep)]
-                    else:
-                        dl.append((slot, ep))
-            if dest >= 0:
-                prev = reg_map[dest]
-                prevprods[i] = prev
-                prevseqs[i] = seqs[base + prev] if prev >= 0 else -1
-                reg_map[dest] = slot
-                phys_free -= 1
-            else:
-                prevprods[i] = -1
-                prevseqs[i] = -1
-            pend_arr[i] = pending
-            iq_used[fu] += 1
-            if pending == 0:
-                states[i] = S_READY
-                heappush(ready, (myseq, fu, t, slot))
-                ready_counts[fu] += 1
-                woken += 1
-            else:
-                states[i] = S_WAITING
-        self.phys_free = phys_free
-        self.seq = seq
-        if woken:
-            self._ready_count += woken
-
-    # ----------------------------------------------------------------- fetch
-
-    def _fetch(self) -> None:
-        cyc = self.cycle
-        flush_wait = self.flush_wait
-        stall = self.fetch_stall_until
-        pipes = self._pipe_by_thread
-        candidates = []
-        for t in range(self.num_threads):
-            if flush_wait[t] or cyc < stall[t]:
-                continue
-            pl = pipes[t]
-            if len(pl.buffer) >= pl.buffer_cap:
-                continue
-            candidates.append(t)
-        if not candidates:
-            return
-        if len(candidates) > 1:
-            # Candidates ascend in thread id, and list.sort is stable, so
-            # sorting on the policy key minus its trailing thread-id
-            # tiebreak reproduces the seed ordering exactly.
-            kind = self._policy_kind
-            if kind == _PK_ICOUNT:
-                candidates.sort(key=self.icount.__getitem__)
-            elif kind == _PK_L1M:
-                infl = self.inflight_loads
-                ic = self.icount
-                candidates.sort(key=lambda t: (infl[t], -pipes[t].width, ic[t]))
-            else:
-                policy = self.policy
-                candidates.sort(key=lambda t: policy.sort_key(self, t))
-        remaining = self._fetch_width
-        threads_used = 0
-        max_threads = self._fetch_threads
-        fetch_thread = self._fetch_thread
-        for t in candidates:
-            if remaining <= 0 or threads_used >= max_threads:
-                break
-            threads_used += 1
-            remaining -= fetch_thread(t, remaining)
-
-    def _fetch_mono(self) -> None:
-        """Single-pipeline fetch: every thread shares the one decoupling
-        buffer, so the per-candidate pipeline lookups and buffer-space
-        probes of :meth:`_fetch` collapse to a single up-front check.
-        Candidate order and the policy sort are untouched (the candidate
-        list still ascends in thread id before the stable sort), so the
-        fetched stream is bit-identical to the generic stage."""
-        pl = self.active_pipes[0]
-        if len(pl.buffer) >= pl.buffer_cap:
-            return
-        cyc = self.cycle
-        flush_wait = self.flush_wait
-        stall = self.fetch_stall_until
-        candidates = [
-            t for t in range(self.num_threads)
-            if not flush_wait[t] and cyc >= stall[t]
-        ]
-        if not candidates:
-            return
-        if len(candidates) > 1:
-            kind = self._policy_kind
-            if kind == _PK_ICOUNT:
-                candidates.sort(key=self.icount.__getitem__)
-            elif kind == _PK_L1M:
-                # Pipeline width is a constant term within one pipeline;
-                # the stable sort makes (inflight, icount) equivalent to
-                # the generic (inflight, -width, icount) key.
-                infl = self.inflight_loads
-                ic = self.icount
-                candidates.sort(key=lambda t: (infl[t], ic[t]))
-            else:
-                policy = self.policy
-                candidates.sort(key=lambda t: policy.sort_key(self, t))
-        remaining = self._fetch_width
-        threads_used = 0
-        max_threads = self._fetch_threads
-        fetch_thread = self._fetch_thread
-        for t in candidates:
-            if remaining <= 0 or threads_used >= max_threads:
-                break
-            threads_used += 1
-            remaining -= fetch_thread(t, remaining)
-
-    def _fetch_thread(self, t: int, budget: int) -> int:
-        """Fetch one packet for thread ``t``; returns instructions taken.
-
-        Entries are read through the per-trace block tables over the
-        packed int64 columns (``index >> FETCH_SHIFT`` selects a block,
-        decoded from the column slices on first touch) — the tuple lists
-        the seed fetch loop indexed never materialize.
-        """
-        pl = self._pipe_by_thread[t]
-        buf = pl.buffer
-        space = pl.buffer_cap - len(buf)
-        limit = budget if budget < space else space
-        if limit <= 0:
-            return 0
-        trace = self.traces[t]
-        length = trace.length
-        junk_len = trace.junk_length
-        eblocks = self._fetch_eblocks[t]
-        jblocks = self._fetch_jblocks[t]
-        entry_block = trace.entry_block
-        junk_block = trace.junk_block
-        bshift = FETCH_SHIFT  # locals: the loop reads them per entry
-        bmask = FETCH_MASK
-        cyc = self.cycle
-        junk_idx = self.junk_idx
-        fetch_idx = self.fetch_idx
-        wp = self.wrong_path[t]
-        # One I-cache/I-TLB probe per packet (head PC).
-        if wp:
-            j = junk_idx[t] % junk_len
-            blk = jblocks[j >> bshift]
-            if blk is None:
-                blk = junk_block(j >> bshift)
-            head_pc = blk[j & bmask][6]
-        else:
-            j = fetch_idx[t] % length
-            blk = eblocks[j >> bshift]
-            if blk is None:
-                blk = entry_block(j >> bshift)
-            head_pc = blk[j & bmask][6]
-        fetch_lat = self.mem.fetch_latency(head_pc, t)
-        if fetch_lat > 0:
-            self.fetch_stall_until[t] = cyc + fetch_lat
-            self.stat_icache_stalls += 1
-            return 0
-        taken_count = 0
-        wrongpath_count = 0
-        append = buf.append
-        unit = self.branch_unit
-        predict = unit.predict
-        while taken_count < limit:
-            if wp:
-                j = junk_idx[t] % junk_len
-                blk = jblocks[j >> bshift]
-                if blk is None:
-                    blk = junk_block(j >> bshift)
-                e = blk[j & bmask]
-                junk_idx[t] += 1
-                tidx = -1
-                flags = FL_WRONGPATH
-                wrongpath_count += 1
-            else:
-                tidx = fetch_idx[t]
-                j = tidx % length
-                blk = eblocks[j >> bshift]
-                if blk is None:
-                    blk = entry_block(j >> bshift)
-                e = blk[j & bmask]
-                fetch_idx[t] = tidx + 1
-                flags = 0
-            op = e[0]
-            if op == OP_BRANCH or op == OP_CALL or op == OP_RETURN:
-                actual_taken = bool(e[5])
-                if tidx >= 0:
-                    j = (tidx + 1) % length
-                    blk = eblocks[j >> bshift]
-                    if blk is None:
-                        blk = entry_block(j >> bshift)
-                    actual_target = blk[j & bmask][6]
-                else:
-                    actual_target = e[6] + 4
-                pred = predict(t, e[6], op, actual_taken, actual_target)
-                if pred.direction_mispredict or (
-                    op == OP_RETURN and pred.target_mispredict
-                ):
-                    # Full mispredict: fetch goes down the wrong path until
-                    # this branch resolves in the execute stage.
-                    flags |= FL_MISPRED
-                    unit.note_direction_mispredict()
-                    self.wrong_path[t] = True
-                    wp = True
-                    append((t, e, tidx, flags))
-                    taken_count += 1
-                    if pred.taken:
-                        break  # fetch redirects (to the wrong target)
-                    continue  # wrong path continues sequentially (junk)
-                append((t, e, tidx, flags))
-                taken_count += 1
-                if pred.taken:
-                    if not pred.target_known:
-                        # Direction right but no target from BTB: short
-                        # front-end bubble while decode computes it.
-                        self.fetch_stall_until[t] = cyc + self.params.btb_miss_penalty
-                        self.stat_btb_bubbles += 1
-                    break  # taken prediction ends the packet
-            else:
-                append((t, e, tidx, flags))
-                taken_count += 1
-        self.icount[t] += taken_count
-        self.stat_fetched[t] += taken_count
-        if wrongpath_count:
-            self.stat_wrongpath_fetched[t] += wrongpath_count
-        return taken_count
-
-    # ------------------------------------------------------------- reporting
-
-    def aggregate_ipc(self) -> float:
-        """Committed correct-path instructions per cycle, all threads."""
-        if self.cycle == 0:
-            return 0.0
-        return sum(self.committed) / self.cycle
-
-    def thread_ipc(self, t: int) -> float:
-        if self.cycle == 0:
-            return 0.0
-        return self.committed[t] / self.cycle

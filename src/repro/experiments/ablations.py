@@ -12,7 +12,11 @@ A4 — mapping policy: heuristic vs random vs round-robin vs oracle.
 Every ablation's variant runs are independent simulations, so each
 driver batches them through a :class:`~repro.runner.batch.BatchRunner`
 (``workers=`` or ``REPRO_WORKERS`` parallelizes; results are identical
-to the sequential path).
+to the sequential path). Runs ship as worker-count-sized bundles
+(:func:`~repro.runner.continuation.run_bundled`) — including the A4
+oracle's exact per-candidate screens — so dispatch overhead never
+scales with the variant or candidate count; results come back in run
+order, preserving the seed path's first-strict-max tie-breaks.
 """
 
 from __future__ import annotations
@@ -32,7 +36,8 @@ from repro.core.models import PipelineModel
 from repro.core.simulation import SimResult
 from repro.experiments.scale import ExperimentScale, default_scale
 from repro.metrics.tables import format_table
-from repro.runner import BatchRunner, SimJob
+from repro.runner import BatchRunner
+from repro.runner.continuation import ContinuationRun, run_bundled
 from repro.runner.screening import ScreenJob
 from repro.trace.profiling import profile_benchmark
 from repro.workloads.definitions import Workload, get_workload
@@ -87,11 +92,12 @@ def ablation_fetch_policy(
         for pol in policies
     ]
     with _runner_for(runner, workers) as rn:
-        results = rn.run(
+        results = run_bundled(
+            rn,
             [
-                SimJob(cfg, w.benchmarks, mapping, scale.commit_target)
+                ContinuationRun(cfg, w.benchmarks, mapping, scale.commit_target)
                 for cfg in variants
-            ]
+            ],
         )
     return dict(zip(policies, results))
 
@@ -118,11 +124,12 @@ def ablation_register_latency(
         for lat in latencies
     ]
     with _runner_for(runner, workers) as rn:
-        results = rn.run(
+        results = run_bundled(
+            rn,
             [
-                SimJob(cfg, w.benchmarks, mapping, scale.commit_target)
+                ContinuationRun(cfg, w.benchmarks, mapping, scale.commit_target)
                 for cfg in variants
-            ]
+            ],
         )
     return dict(zip(latencies, results))
 
@@ -162,11 +169,12 @@ def ablation_fetch_buffer(
             replace(base, name=f"{config_name}[buf={size}]", pipelines=pipes)
         )
     with _runner_for(runner, workers) as rn:
-        results = rn.run(
+        results = run_bundled(
+            rn,
             [
-                SimJob(cfg, w.benchmarks, mapping, scale.commit_target)
+                ContinuationRun(cfg, w.benchmarks, mapping, scale.commit_target)
                 for cfg in variants
-            ]
+            ],
         )
     return dict(zip(sizes, results))
 
@@ -216,13 +224,17 @@ def ablation_mapping_policy(
             maps["oracle-best"] = outcome.best()
             maps["oracle-worst"] = outcome.worst()
         else:
-            # Exact screen: one SimJob per candidate, fanned out over the
-            # pool (the seed path, including its first-strict-max ties).
-            screens = rn.run(
+            # Exact screen: every candidate at the full screen window,
+            # packed into worker-count-sized bundles (results come back
+            # in candidate order, so the seed path's first-strict-max
+            # tie-breaks are preserved exactly).
+            screens = run_bundled(
+                rn,
                 [
-                    SimJob(config_name, w.benchmarks, m, scale.screen_target)
+                    ContinuationRun(config_name, tuple(w.benchmarks), m,
+                                    scale.screen_target)
                     for m in candidates
-                ]
+                ],
             )
             best_map, best_ipc = heur, -1.0
             worst_map, worst_ipc = heur, float("inf")
@@ -237,11 +249,13 @@ def ablation_mapping_policy(
         full = dict(
             zip(
                 unique_maps,
-                rn.run(
+                run_bundled(
+                    rn,
                     [
-                        SimJob(config_name, w.benchmarks, m, scale.commit_target)
+                        ContinuationRun(config_name, tuple(w.benchmarks), m,
+                                        scale.commit_target)
                         for m in unique_maps
-                    ]
+                    ],
                 ),
             )
         )

@@ -22,15 +22,17 @@ and executes two *cross-pair* batches — all pairs' screens, then all
 pairs' remaining full-length runs — through a
 :class:`~repro.runner.batch.BatchRunner`, so the worker pool stays
 saturated to the tail of the sweep instead of draining at every pair
-boundary. In exact mode the screen batch holds one job per candidate
-mapping; in screening mode it holds one checkpointed ladder job per pair
-(pair-level granularity — the checkpoints must live in one worker).
-Full-length runs are *bundled*: the single-mapping pairs' only runs and
-every pair's post-screen BEST/HEUR/WORST continuations are packed into
-:class:`~repro.runner.continuation.ContinuationJob` bundles sized to the
+boundary. In exact mode the candidate screens of *all* pairs are packed
+into worker-count-sized :class:`~repro.runner.continuation.
+ContinuationJob` bundles (at most ``bundle_count`` jobs instead of one
+job per candidate mapping); in screening mode the batch holds one
+checkpointed ladder job per pair (pair-level granularity — the
+checkpoints must live in one worker). Full-length runs are bundled the
+same way: the single-mapping pairs' only runs and every pair's
+post-screen BEST/HEUR/WORST continuations ship in bundles sized to the
 worker count (``bundle_count`` overrides; the CLI exposes it as
-``--bundles``), so the sweep tail executes a handful of large jobs
-instead of draining one job per run. Pass ``workers=`` (or set
+``--bundles``), so the sweep executes a handful of large jobs at both
+ends instead of draining one job per run. Pass ``workers=`` (or set
 ``REPRO_WORKERS``) to fan out over processes; results are bit-identical
 to the sequential path regardless.
 
@@ -59,8 +61,13 @@ from repro.core.simulation import SimResult, default_trace_length
 from repro.experiments.scale import ExperimentScale, default_scale
 from repro.metrics.stats import harmonic_mean
 from repro.metrics.tables import format_grouped_bars
-from repro.runner import BatchRunner, SimJob
-from repro.runner.continuation import ContinuationRun, plan_bundles
+from repro.runner import BatchRunner
+from repro.runner.continuation import (
+    ContinuationRun,
+    plan_bundles,
+    run_bundled,
+    unbundle_results,
+)
 from repro.runner.screening import ScreenJob
 from repro.trace.profiling import profile_benchmark
 from repro.workloads.definitions import WORKLOADS, Workload, get_workload
@@ -154,7 +161,7 @@ class _PairPlan:
     #: the only mapping (monolithic / degenerate pairs); exclusive with screen
     single_map: Optional[Tuple[int, ...]] = None
     heur_map: Optional[Tuple[int, ...]] = None
-    #: exact mode: candidates screened as individual SimJobs
+    #: exact mode: candidates screened as bundled ContinuationRuns
     candidates: Optional[List[Tuple[int, ...]]] = None
     #: screening mode: the pair's checkpointed halving ladder
     screen_job: Optional[ScreenJob] = None
@@ -182,8 +189,10 @@ def _plan_pair(config_name: str, workload: Workload, scale: ExperimentScale,
         return _PairPlan(config_name, workload, key, single_map=heur_map,
                          heur_map=heur_map)
     if not screening:
-        # Exact mode: the seed's per-candidate screens (one SimJob per
-        # mapping, fanned out across workers), batched across pairs.
+        # Exact mode: the seed's per-candidate screens, batched across
+        # pairs and packed into worker-count-sized bundles by
+        # _execute_plans (per-run results and cache identities are
+        # exactly the per-job scheduler's).
         return _PairPlan(
             config_name, workload, key, heur_map=heur_map,
             candidates=list(candidates), candidates_count=len(candidates),
@@ -223,63 +232,72 @@ def _execute_plans(plans: Sequence[_PairPlan], scale: ExperimentScale,
     """Run every plan's screens and full-length runs as cross-pair batches
     and publish the finished :class:`WorkloadResult` objects to the memo.
 
-    Two batches total: every pair's screens (exact mode: one SimJob per
-    candidate; screening mode: one
-    :class:`~repro.runner.screening.ScreenJob` ladder per pair — with the
-    single-mapping pairs' full runs bundled alongside), then every pair's
-    still-missing full-length BEST/HEUR/WORST runs — so the worker pool
-    never drains between pairs.
+    Two batches total: every pair's screens (exact mode: the candidate
+    screens of *all* pairs — plus the single-mapping pairs' only runs —
+    bundled together; screening mode: one
+    :class:`~repro.runner.screening.ScreenJob` ladder per pair), then
+    every pair's still-missing full-length BEST/HEUR/WORST runs — so the
+    worker pool never drains between pairs.
 
-    Full-length runs ship as :class:`~repro.runner.continuation.
+    Per-run work ships as :class:`~repro.runner.continuation.
     ContinuationJob` bundles: ``bundle_count`` (default: the runner's
-    worker count) caps the number of worker jobs, each bundle resuming
-    its runs back-to-back inside one process. ``plan_bundles`` assigns
-    run ``i`` to bundle ``i % n``, so bundle ``b`` owns every ``b``-th
-    run — the owner lists below rely on that contract.
+    worker count) caps the number of worker jobs, each bundle executing
+    its runs back-to-back inside one process. Exact-mode screens are
+    bundled exactly like full-length continuations, so the screen batch
+    is at most ``bundle_count`` jobs (plus the screening-mode ladders)
+    instead of one job per candidate mapping — with bit-identical
+    results and unchanged per-run cache identities
+    (:meth:`~repro.runner.continuation.ContinuationRun.as_sim_job`).
     """
     n_bundles = bundle_count if bundle_count is not None else runner.workers
     if n_bundles < 1:
         n_bundles = 1
 
     # --- phase 1: screens (plus single-mapping pairs' only runs) ---------
-    batch: List = []
-    owners: List[Tuple[str, object, Optional[Tuple[int, ...]]]] = []
-    single_runs: List[ContinuationRun] = []
-    single_plans: List[_PairPlan] = []
+    # One bundled run list covers the exact-mode candidate screens and
+    # the single-mapping pairs' full runs; ``owners[i]`` describes
+    # ``runs[i]`` and ``unbundle_results`` restores run order, so the
+    # bookkeeping is index-aligned regardless of bundling.
+    runs: List[ContinuationRun] = []
+    owners: List[Tuple[str, _PairPlan, Optional[Tuple[int, ...]]]] = []
+    ladder_jobs: List[ScreenJob] = []
+    ladder_plans: List[_PairPlan] = []
     for p in plans:
         if p.single_map is not None:
-            single_runs.append(
+            runs.append(
                 ContinuationRun(p.config_name, p.workload.benchmarks,
                                 p.single_map, scale.commit_target)
             )
-            single_plans.append(p)
+            owners.append(("single", p, None))
         elif p.candidates is not None:
             for m in p.candidates:
-                batch.append(SimJob(p.config_name, p.workload.benchmarks, m,
-                                    scale.screen_target))
-                owners.append(("exact", p, m))
+                runs.append(
+                    ContinuationRun(p.config_name, p.workload.benchmarks, m,
+                                    scale.screen_target)
+                )
+                owners.append(("screen", p, m))
         elif p.screen_job is not None:
-            batch.append(p.screen_job)
-            owners.append(("ladder", p, None))
-    single_jobs = plan_bundles(single_runs, n_bundles)
-    for b, job in enumerate(single_jobs):
-        batch.append(job)
-        owners.append(("bundle", single_plans[b::len(single_jobs)], None))
+            ladder_jobs.append(p.screen_job)
+            ladder_plans.append(p)
+    bundles = plan_bundles(runs, n_bundles)
+    batch: List = bundles + ladder_jobs
     if batch:
         if progress:  # pragma: no cover - console feedback only
-            print(f"  screening phase: {len(batch)} jobs ...", flush=True)
+            print(f"  screening phase: {len(runs)} runs + "
+                  f"{len(ladder_jobs)} ladders in {len(batch)} jobs ...",
+                  flush=True)
         results = runner.run(batch)
+        flat = unbundle_results(results[:len(bundles)], len(runs))
         exact_scores: Dict[int, List[Tuple[float, Tuple[int, ...]]]] = {}
-        for (kind, p, m), r in zip(owners, results):
-            if kind == "exact":
+        for (kind, p, m), r in zip(owners, flat):
+            if kind == "screen":
                 exact_scores.setdefault(id(p), []).append((r.ipc, m))
-            elif kind == "ladder":
-                p.best_map = r.best()
-                p.worst_map = r.worst()
-                p.full_results.update(dict(r.full_results))
-            else:  # bundle of single-mapping full runs; p is a plan slice
-                for plan, res in zip(p, r):
-                    plan.single_result = res
+            else:
+                p.single_result = r
+        for p, r in zip(ladder_plans, results[len(bundles):]):
+            p.best_map = r.best()
+            p.worst_map = r.worst()
+            p.full_results.update(dict(r.full_results))
         for p in plans:
             screened = exact_scores.get(id(p))
             if screened is not None:
@@ -307,15 +325,13 @@ def _execute_plans(plans: Sequence[_PairPlan], scale: ExperimentScale,
             )
             full_owners.append((p, m))
     if full_runs:
-        full_jobs = plan_bundles(full_runs, n_bundles)
         if progress:  # pragma: no cover - console feedback only
             print(f"  full-length continuations: {len(full_runs)} runs "
-                  f"in {len(full_jobs)} bundles ...", flush=True)
-        results = runner.run(full_jobs)
-        nb = len(full_jobs)
-        for b, (job, res) in enumerate(zip(full_jobs, results)):
-            for (p, m), r in zip(full_owners[b::nb], res):
-                p.full_results[m] = r
+                  f"in {min(len(full_runs), n_bundles)} bundles ...",
+                  flush=True)
+        for (p, m), r in zip(full_owners,
+                             run_bundled(runner, full_runs, n_bundles)):
+            p.full_results[m] = r
 
     # --- assembly --------------------------------------------------------
     for p in plans:

@@ -6,9 +6,14 @@ screened with a short simulation. Those runs are embarrassingly parallel
 and perfectly deterministic, so :class:`~repro.runner.batch.BatchRunner`
 fans them out over a :class:`concurrent.futures.ProcessPoolExecutor`:
 
+* **one job protocol** — every job kind implements
+  :class:`~repro.runner.jobs.Job` (identity key, ``heavy`` scheduling
+  hint, trace manifest, cache-aware ``execute``), so the runner has
+  exactly one dispatch/cache/prepack path and new job kinds need no
+  runner changes;
 * **process-local caches** — each worker process keeps the module-level
   trace cache (:func:`repro.trace.stream.trace_for`) and warm-state cache
-  (:mod:`repro.core.processor`) warm across the jobs it executes, so a
+  (:mod:`repro.core.engine.warm`) warm across the jobs it executes, so a
   workload's traces are generated and warmed once per worker rather than
   once per job;
 * **optional on-disk result cache** — jobs are content-addressed by
@@ -28,10 +33,11 @@ fans them out over a :class:`concurrent.futures.ProcessPoolExecutor`:
   HalvingScreen` plans staged oracle screening (short windows eliminate
   the middle of the candidate pack before full-window runs), the
   ``--screening`` fast path of the experiment drivers;
-* **batched full-length continuations** — :class:`~repro.runner.
-  continuation.ContinuationJob` packs the sweep's post-screen full-length
-  runs into a handful of bundles sized to the worker count
-  (:func:`~repro.runner.continuation.plan_bundles`), so the pool executes
+* **bundled runs** — :class:`~repro.runner.continuation.ContinuationJob`
+  packs the sweep's per-run work — post-screen full-length continuations
+  *and* exact-mode screens — into a handful of bundles sized to the
+  worker count (:func:`~repro.runner.continuation.plan_bundles` /
+  :func:`~repro.runner.continuation.run_bundled`), so the pool executes
   a few large jobs instead of draining one job per run.
 
 Worker count: the ``workers`` argument, else the ``REPRO_WORKERS``
@@ -39,17 +45,26 @@ environment variable, else ``os.cpu_count()``. ``workers=1`` (or a batch
 of fewer than two jobs) runs inline with no subprocess overhead.
 """
 
-from repro.runner.batch import BatchRunner, SimJob
+from repro.runner.batch import BatchRunner
 from repro.runner.cache import ResultCache
-from repro.runner.continuation import ContinuationJob, ContinuationRun, plan_bundles
+from repro.runner.continuation import (
+    ContinuationJob,
+    ContinuationRun,
+    plan_bundles,
+    run_bundled,
+)
+from repro.runner.jobs import Job, SimJob, TraceUnit
 from repro.runner.screening import HalvingScreen
 
 __all__ = [
     "BatchRunner",
+    "Job",
     "SimJob",
+    "TraceUnit",
     "ResultCache",
     "HalvingScreen",
     "ContinuationJob",
     "ContinuationRun",
     "plan_bundles",
+    "run_bundled",
 ]

@@ -1,15 +1,22 @@
 """BatchRunner: fan simulation jobs out over worker processes.
 
-The experiment drivers describe each simulation as a :class:`SimJob`
-(picklable, content-hashable) and hand lists of them to
-:meth:`BatchRunner.run`, which preserves order: ``results[i]`` is the
-outcome of ``jobs[i]`` whether the batch ran inline or across processes.
+The experiment drivers describe work as :class:`~repro.runner.jobs.Job`
+objects (picklable, content-hashable; see :mod:`repro.runner.jobs` for
+the protocol) and hand lists of them to :meth:`BatchRunner.run`, which
+preserves order: ``results[i]`` is the outcome of ``jobs[i]`` whether
+the batch ran inline or across processes. Every job kind —
+:class:`~repro.runner.jobs.SimJob`,
+:class:`~repro.runner.screening.ScreenJob`,
+:class:`~repro.runner.continuation.ContinuationJob` — flows through the
+same dispatch, cache and trace-prepack path; the runner never
+special-cases a job class.
 
 Workers share two content-addressed stores through one directory:
 
 * a :class:`~repro.trace.packed.PackedTraceStore` — before a parallel
-  batch launches, the parent packs every trace the batch needs into the
-  store, so cold workers mmap the packed buffers instead of re-running
+  batch launches, the parent packs every trace the batch needs (each
+  job's :meth:`~repro.runner.jobs.Job.trace_manifest`) into the store,
+  so cold workers mmap the packed buffers instead of re-running
   :class:`~repro.trace.synthetic.TraceGenerator`;
 * a warm-snapshot store (see :func:`repro.core.processor.set_warm_store`)
   — the first process to warm a trace set persists the structure state,
@@ -25,19 +32,10 @@ from __future__ import annotations
 import os
 import tempfile
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
 from typing import List, Optional, Sequence, Set, Tuple, Union
 
-from repro.core.config import MicroarchConfig
-from repro.core.simulation import (
-    SimResult,
-    default_trace_length,
-    resolve_trace_triples,
-    run_simulation,
-)
 from repro.runner.cache import ResultCache
-from repro.trace.packed import PackedTrace
-from repro.trace.stream import trace_for
+from repro.runner.jobs import SimJob
 
 __all__ = ["BatchRunner", "SimJob", "resolve_workers"]
 
@@ -46,52 +44,9 @@ __all__ = ["BatchRunner", "SimJob", "resolve_workers"]
 _MIN_PARALLEL_JOBS = 3
 
 #: Threshold for *heavy* jobs (``job.heavy`` — checkpointed screen
-#: ladders, full-length continuation bundles): each one amortizes its
+#: ladders, bundled continuation/screen jobs): each one amortizes its
 #: dispatch overhead by construction, so two already justify the pool.
 _MIN_PARALLEL_HEAVY = 2
-
-
-@dataclass(frozen=True)
-class SimJob:
-    """One :func:`~repro.core.simulation.run_simulation` call, as data.
-
-    ``seed`` namespaces the synthetic-trace generation (the paper's fixed
-    traces are seed 0); it participates in the cache key so alternative
-    trace draws never collide.
-    """
-
-    config: Union[str, MicroarchConfig]
-    benchmarks: Tuple[str, ...]
-    mapping: Tuple[int, ...]
-    commit_target: int
-    trace_length: Optional[int] = None
-    warmup: bool = True
-    max_cycles: Optional[int] = None
-    seed: int = 0
-
-    def execute(self) -> SimResult:
-        """Run the simulation described by this job (in this process)."""
-        return run_simulation(
-            self.config,
-            self.benchmarks,
-            self.mapping,
-            self.commit_target,
-            trace_length=self.trace_length,
-            warmup=self.warmup,
-            max_cycles=self.max_cycles,
-            seed=self.seed,
-        )
-
-    def trace_triples(self) -> List[Tuple[str, int, int]]:
-        """The ``(benchmark, length, instance)`` traces this job streams —
-        :func:`~repro.core.simulation.run_simulation`'s exact resolution,
-        so the parent can pre-pack exactly what workers will look up."""
-        length = (
-            self.trace_length
-            if self.trace_length is not None
-            else default_trace_length(self.commit_target)
-        )
-        return resolve_trace_triples(self.benchmarks, length, self.seed)
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
@@ -136,17 +91,18 @@ def _init_worker(cache_dir: Optional[str], store_dir: Optional[str]) -> None:
         set_warm_store(store_dir)
 
 
-def _execute_job(job: SimJob) -> SimResult:
+def _execute_job(job):
     cache = (
         ResultCache(_WORKER_CACHE_DIR)
         if _WORKER_CACHE_DIR is not None
         else None
     )
-    return _run_one(job, cache)
+    return job.execute(cache)
 
 
 class BatchRunner:
-    """Execute batches of :class:`SimJob` with optional parallelism.
+    """Execute batches of :class:`~repro.runner.jobs.Job` objects with
+    optional parallelism.
 
     Parameters
     ----------
@@ -233,20 +189,21 @@ class BatchRunner:
     def run(self, jobs: Sequence) -> List:
         """Execute every job; ``results[i]`` corresponds to ``jobs[i]``.
 
-        Accepts any mix of :class:`SimJob`,
-        :class:`~repro.runner.screening.ScreenJob` and
-        :class:`~repro.runner.continuation.ContinuationJob` (anything
-        with ``execute()``/``trace_triples()`` and result-cache hooks).
+        Accepts any mix of :class:`~repro.runner.jobs.Job`
+        implementations (:class:`~repro.runner.jobs.SimJob`,
+        :class:`~repro.runner.screening.ScreenJob`,
+        :class:`~repro.runner.continuation.ContinuationJob`, ...): one
+        dispatch path, no per-kind cases.
         """
         jobs = list(jobs)
         self.jobs_run += len(jobs)
         min_jobs = (
             _MIN_PARALLEL_HEAVY
-            if any(getattr(job, "heavy", False) for job in jobs)
+            if any(job.heavy for job in jobs)
             else _MIN_PARALLEL_JOBS
         )
         if self.workers <= 1 or len(jobs) < min_jobs:
-            return [_run_one(job, self.cache) for job in jobs]
+            return [job.execute(self.cache) for job in jobs]
         self._prepack_traces(jobs)
         if self._pool is None:
             self._pool = ProcessPoolExecutor(
@@ -266,23 +223,22 @@ class BatchRunner:
         matching post-warm structure snapshots are precomputed too, so
         concurrent workers hitting the same workload at the same moment
         load one snapshot instead of racing to compute identical ones.
+        The needs of a job — whatever its kind — come uniformly from its
+        :meth:`~repro.runner.jobs.Job.trace_manifest`.
         """
         if self.store_dir is None:
             return
         from repro.core.config import get_config
         from repro.core.processor import ensure_warm_snapshot
-        from repro.trace.packed import PackedTraceStore
-        from repro.trace.stream import _JUNK_LEN
+        from repro.trace.packed import PackedTrace, PackedTraceStore
+        from repro.trace.stream import _JUNK_LEN, trace_for
 
         store: Optional[PackedTraceStore] = None
         packed_triples = self._packed_triples
         warm_sets = {}
         for job in jobs:
-            # A ContinuationJob bundles independent runs; every other job
-            # kind is its own single unit (one config, one trace set).
-            for unit in getattr(job, "runs", None) or (job,):
-                triples = unit.trace_triples()
-                for triple in triples:
+            for unit in job.trace_manifest():
+                for triple in unit.triples:
                     if triple in packed_triples:
                         continue
                     if store is None:
@@ -290,39 +246,22 @@ class BatchRunner:
                     name, length, instance = triple
                     if not store.contains(name, length, instance, _JUNK_LEN):
                         trace = trace_for(name, length, instance)
-                        store.save(PackedTrace.from_trace(trace), name,
-                                   length, instance)
+                        store.save(
+                            PackedTrace.from_trace(trace), name, length, instance
+                        )
                     packed_triples.add(triple)
-                if getattr(unit, "warmup", True):
+                if unit.config is not None:
                     config = unit.config
                     if isinstance(config, str):
                         config = get_config(config)
                     warm_sets.setdefault(
-                        (config.params.memory, tuple(triples)), None
+                        (config.params.memory, unit.triples), None
                     )
         for memory_params, triples in warm_sets:
             traces = [trace_for(*t) for t in triples]
             ensure_warm_snapshot(self.store_dir, memory_params, traces)
 
-    def run_one(self, job: SimJob) -> SimResult:
+    def run_one(self, job):
         """Execute a single job inline (cache-aware)."""
         self.jobs_run += 1
-        return _run_one(job, self.cache)
-
-
-def _run_one(job: SimJob, cache: Optional[ResultCache]) -> SimResult:
-    runs = getattr(job, "runs", None)
-    if runs is not None:
-        # A ContinuationJob bundle: cache each run under the SimJob
-        # identity it replaces, so hits are independent of how the sweep
-        # was bundled (worker count, composition) and interchange with
-        # per-job scheduler cache entries.
-        return tuple(_run_one(run.as_sim_job(), cache) for run in runs)
-    if cache is not None:
-        hit = cache.get(job)
-        if hit is not None:
-            return hit
-        result = job.execute()
-        cache.put(job, result)
-        return result
-    return job.execute()
+        return job.execute(self.cache)

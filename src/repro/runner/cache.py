@@ -83,27 +83,13 @@ class ResultCache:
     def job_key(job) -> str:
         """Stable content hash of a job's full description.
 
-        Jobs exposing ``cache_key_fields()`` (screen jobs) describe
-        themselves; plain :class:`SimJob` uses the legacy field set. Both
-        are salted with the engine and packed-trace format versions.
+        Every cacheable job describes itself through the protocol's
+        ``cache_key_fields()`` (see :mod:`repro.runner.jobs`) — for a
+        :class:`~repro.runner.jobs.SimJob` that is byte-identical to the
+        legacy field set, so existing cache entries keep hitting. All
+        keys are salted with the engine and packed-trace format versions.
         """
-        if hasattr(job, "cache_key_fields"):
-            fields = job.cache_key_fields()
-        else:
-            # repr() of the (frozen, nested) config dataclass covers every
-            # parameter; named configs stay distinct from modified copies
-            # because replace() changes the name or a parameter in the repr.
-            config = job.config if isinstance(job.config, str) else repr(job.config)
-            fields = {
-                "config": config,
-                "benchmarks": list(job.benchmarks),
-                "mapping": list(job.mapping),
-                "commit_target": job.commit_target,
-                "trace_length": job.trace_length,
-                "warmup": job.warmup,
-                "max_cycles": job.max_cycles,
-                "seed": job.seed,
-            }
+        fields = job.cache_key_fields()
         desc = json.dumps(
             {
                 "engine": ENGINE_VERSION,
@@ -129,10 +115,7 @@ class ResultCache:
         path = self._path(self.job_key(job))
         try:
             payload = json.loads(path.read_text())
-            if hasattr(job, "restore_result"):
-                result = job.restore_result(payload)
-            else:
-                result = sim_result_restore(payload)
+            result = job.restore_result(payload)
         except (OSError, ValueError, KeyError, TypeError):
             # ValueError covers json.JSONDecodeError; OSError covers a
             # vanished/unreadable file.
@@ -143,10 +126,7 @@ class ResultCache:
 
     def put(self, job, result) -> None:
         """Store ``result`` under ``job``'s key (atomic write)."""
-        if hasattr(job, "result_payload"):
-            payload = job.result_payload(result)
-        else:
-            payload = sim_result_payload(result)
+        payload = job.result_payload(result)
         path = self._path(self.job_key(job))
         atomic_write_bytes(path, json.dumps(payload).encode())
 

@@ -1,33 +1,35 @@
-"""Batched full-length continuation scheduler.
+"""Bundled run scheduler: many simulations per worker job.
 
-The sweep tail used to be dominated by full-length runs dispatched as
-one worker job each: after the screen phase picked every pair's
-BEST/HEUR/WORST mappings, the pool drained through dozens of small jobs
-whose per-job overhead (pickle, dispatch, result marshalling, cache
-probing) rivalled the simulation itself at screen-sized windows.
+The sweep used to be dominated at both ends by runs dispatched as one
+worker job each: after the screen phase picked every pair's BEST/HEUR/
+WORST mappings, the pool drained through dozens of small full-length
+jobs — and in exact mode the screen phase itself dispatched one job per
+candidate mapping (``max_mappings × pairs`` jobs), each paying pickle,
+dispatch, result marshalling and cache probing that rivalled the
+simulation itself at screen-sized windows.
 
-:class:`ContinuationJob` packs many full-length runs into one worker
-job: each :class:`ContinuationRun` resumes exactly the way a
-:class:`~repro.runner.screening.ScreenJob` continues its checkpointed
-processors — build the processor, restore the shared warm snapshot,
-reset the measurement counters, run to the full commit target — so a
-bundled run is bit-identical to the :class:`~repro.runner.batch.SimJob`
-it replaces (``run_simulation`` performs the same four steps). The
-experiment sweep partitions its post-screen plan into
-``bundle_count`` bundles (defaulting to the worker count) with
+:class:`ContinuationJob` packs many runs into one worker job: each
+:class:`ContinuationRun` executes exactly the
+:class:`~repro.runner.jobs.SimJob` it replaces (``as_sim_job`` — one
+shared implementation, zero drift surface), so a bundled run is
+bit-identical to the per-job dispatch. The experiment sweep partitions
+its run plans — full-length continuations *and* exact-mode screens —
+into ``bundle_count`` bundles (defaulting to the worker count) with
 :func:`plan_bundles`, so the pool executes a handful of large jobs
-instead of draining per pair.
+instead of draining per run; :func:`run_bundled` wraps the round trip
+and hands results back in original run order.
 
 Runs are assigned round-robin: one (configuration, workload) pair's
-BEST/HEUR/WORST runs land in different bundles, which balances the
-expensive pairs across workers (traces and warm snapshots are shared
-through the runner's content-addressed stores either way).
+BEST/HEUR/WORST runs (or a pair's screen candidates) land in different
+bundles, which balances the expensive pairs across workers (traces and
+warm snapshots are shared through the runner's content-addressed stores
+either way).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, ClassVar, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import MicroarchConfig
 from repro.core.simulation import (
@@ -35,18 +37,30 @@ from repro.core.simulation import (
     default_trace_length,
     resolve_trace_triples,
 )
+from repro.runner.jobs import TraceUnit
 
-__all__ = ["ContinuationRun", "ContinuationJob", "plan_bundles"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runner.cache import ResultCache
+
+__all__ = [
+    "ContinuationRun",
+    "ContinuationJob",
+    "plan_bundles",
+    "run_bundled",
+    "unbundle_results",
+]
 
 
 @dataclass(frozen=True)
 class ContinuationRun:
-    """One full-length run riding inside a :class:`ContinuationJob`.
+    """One run riding inside a :class:`ContinuationJob`.
 
-    The field set mirrors :class:`~repro.runner.batch.SimJob` (warm-up
-    always on, no cycle cap — the experiment drivers' full-length runs
-    never use either knob), so a run's identity is exactly the SimJob it
-    replaces.
+    The field set mirrors :class:`~repro.runner.jobs.SimJob` (warm-up
+    always on, no cycle cap — the experiment drivers' bundled runs never
+    use either knob), so a run's identity is exactly the SimJob it
+    replaces. ``commit_target`` is the full-length window for
+    continuation runs and the screen window for bundled exact-mode
+    screens — the scheduling is identical.
     """
 
     config: Union[str, MicroarchConfig]
@@ -56,10 +70,10 @@ class ContinuationRun:
     trace_length: Optional[int] = None
     seed: int = 0
 
-    def execute(self) -> SimResult:
-        """Run to the full commit target — by definition the SimJob this
-        run replaces (one shared implementation, zero drift surface)."""
-        return self.as_sim_job().execute()
+    def execute(self, cache: Optional["ResultCache"] = None) -> SimResult:
+        """Run to the commit target — by definition the SimJob this run
+        replaces (one shared implementation, zero drift surface)."""
+        return self.as_sim_job().execute(cache)
 
     def trace_triples(self) -> List[Tuple[str, int, int]]:
         length = (
@@ -70,14 +84,14 @@ class ContinuationRun:
         return resolve_trace_triples(self.benchmarks, length, self.seed)
 
     def as_sim_job(self):
-        """The :class:`~repro.runner.batch.SimJob` this run replaces.
+        """The :class:`~repro.runner.jobs.SimJob` this run replaces.
 
         The runner caches bundle runs *per run* through this identity, so
         cache entries are independent of bundle composition (worker
         count, sweep shape) and interchange with entries written by the
-        per-job scheduler this PR replaced.
+        per-job scheduler this machinery replaced.
         """
-        from repro.runner.batch import SimJob
+        from repro.runner.jobs import SimJob
 
         return SimJob(
             config=self.config,
@@ -91,7 +105,7 @@ class ContinuationRun:
 
 @dataclass(frozen=True)
 class ContinuationJob:
-    """A bundle of full-length runs executed inside one worker.
+    """A bundle of runs executed inside one worker.
 
     ``execute()`` returns one :class:`~repro.core.simulation.SimResult`
     per run, in run order. Traces and post-warm snapshots are shared
@@ -99,38 +113,34 @@ class ContinuationJob:
     activated one) the content-addressed store, so a bundle pays the
     cold-start cost once per distinct workload rather than once per run.
     The result cache operates per *run*, not per bundle (each run caches
-    as the :class:`~repro.runner.batch.SimJob` it replaces), so reuse
-    survives re-bundling.
+    as the :class:`~repro.runner.jobs.SimJob` it replaces), so reuse
+    survives re-bundling; the bundle itself never presents an identity
+    to the cache.
     """
 
     runs: Tuple[ContinuationRun, ...]
 
     #: BatchRunner parallelizes batches of heavy jobs at 2+ jobs (a
     #: bundle amortizes its dispatch overhead by construction).
-    heavy = True
+    heavy: ClassVar[bool] = True
 
     @property
     def resume_count(self) -> int:
-        """Full-length runs this bundle resumes (one result each)."""
+        """Runs this bundle executes (one result each)."""
         return len(self.runs)
 
-    def execute(self) -> Tuple[SimResult, ...]:
-        return tuple(run.execute() for run in self.runs)
+    def execute(
+        self, cache: Optional["ResultCache"] = None
+    ) -> Tuple[SimResult, ...]:
+        return tuple(run.execute(cache) for run in self.runs)
 
-    # -- shared-store integration ------------------------------------------
-    #
-    # Result caching is handled by the runner *per run* (each run caches
-    # under its SimJob identity — see ContinuationRun.as_sim_job), so a
-    # bundle defines no job-level cache hooks: cache reuse must not
-    # depend on how the sweep happened to be bundled.
-
-    def trace_triples(self) -> List[Tuple[str, int, int]]:
-        """Distinct traces the bundle streams (parent pre-pack pass)."""
-        seen = {}
-        for run in self.runs:
-            for triple in run.trace_triples():
-                seen.setdefault(triple, None)
-        return list(seen)
+    def trace_manifest(self) -> Tuple[TraceUnit, ...]:
+        """One :class:`~repro.runner.jobs.TraceUnit` per bundled run (the
+        parent's pre-pack pass dedups triples and warm sets itself)."""
+        return tuple(
+            TraceUnit(triples=tuple(run.trace_triples()), config=run.config)
+            for run in self.runs
+        )
 
 
 def plan_bundles(
@@ -139,10 +149,11 @@ def plan_bundles(
     """Partition ``runs`` into at most ``bundle_count`` bundles.
 
     Round-robin assignment: ``runs[i]`` lands in bundle ``i % n``, so one
-    pair's BEST/HEUR/WORST runs spread across bundles (cost balance) and
-    the bundles partition the plan exactly — every run appears in exactly
-    one bundle, in its original relative order. Deterministic in
-    (runs, bundle_count); empty input produces no bundles.
+    pair's BEST/HEUR/WORST runs (or screen candidates) spread across
+    bundles (cost balance) and the bundles partition the plan exactly —
+    every run appears in exactly one bundle, in its original relative
+    order. Deterministic in (runs, bundle_count); empty input produces no
+    bundles.
     """
     if bundle_count < 1:
         raise ValueError("bundle_count must be >= 1")
@@ -153,3 +164,35 @@ def plan_bundles(
     for i, run in enumerate(runs):
         buckets[i % n].append(run)
     return [ContinuationJob(runs=tuple(b)) for b in buckets]
+
+
+def unbundle_results(
+    bundle_results: Sequence[Tuple[SimResult, ...]], run_count: int
+) -> List[SimResult]:
+    """Invert :func:`plan_bundles`: flatten per-bundle result tuples back
+    into original run order (bundle ``b`` owns runs ``b::n``)."""
+    out: List[Optional[SimResult]] = [None] * run_count
+    n = len(bundle_results)
+    for b, results in enumerate(bundle_results):
+        for i, r in zip(range(b, run_count, n), results):
+            out[i] = r
+    return out
+
+
+def run_bundled(
+    runner,
+    runs: Sequence[ContinuationRun],
+    bundle_count: Optional[int] = None,
+) -> List[SimResult]:
+    """Execute ``runs`` as round-robin bundles through ``runner`` and
+    return results in original run order.
+
+    ``bundle_count`` defaults to the runner's worker count; it is purely
+    a scheduling knob — results are bit-identical to per-run dispatch
+    for any value (pinned by ``tests/runner/test_continuation.py``).
+    """
+    n_bundles = bundle_count if bundle_count is not None else runner.workers
+    if n_bundles < 1:
+        n_bundles = 1
+    jobs = plan_bundles(runs, n_bundles)
+    return unbundle_results(runner.run(jobs), len(runs))

@@ -46,10 +46,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from math import ceil
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, ClassVar, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import MicroarchConfig, get_config
 from repro.core.simulation import SimResult
+from repro.runner.jobs import TraceUnit
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runner.cache import ResultCache
 
 __all__ = ["HalvingScreen", "ScreenJob", "ScreenResult"]
 
@@ -264,7 +268,7 @@ class ScreenJob:
 
     #: BatchRunner parallelizes batches of heavy jobs at 2+ jobs (a
     #: whole ladder amortizes its dispatch overhead by construction).
-    heavy = True
+    heavy: ClassVar[bool] = True
     keep: float = 0.5
     top_fraction: float = 0.5
     min_survivors: int = 3
@@ -274,8 +278,20 @@ class ScreenJob:
     full_target: Optional[int] = None
     extra_fulls: Tuple[Mapping, ...] = ()
 
-    def execute(self) -> ScreenResult:
-        """Run the ladder in this process (checkpointed continuation)."""
+    def execute(self, cache: Optional["ResultCache"] = None) -> ScreenResult:
+        """Run the ladder in this process (checkpointed continuation),
+        serving from / populating ``cache`` when one is given (the whole
+        ladder caches as one unit under :meth:`cache_key_fields`)."""
+        if cache is not None:
+            hit = cache.get(self)
+            if hit is not None:
+                return hit
+        result = self._execute_ladder()
+        if cache is not None:
+            cache.put(self, result)
+        return result
+
+    def _execute_ladder(self) -> ScreenResult:
         from repro.core.processor import Processor
         from repro.core.simulation import default_trace_length, resolve_traces
 
@@ -397,6 +413,12 @@ class ScreenJob:
             else default_trace_length(self.final_target)
         )
         return resolve_trace_triples(self.benchmarks, length, self.seed)
+
+    def trace_manifest(self) -> Tuple[TraceUnit, ...]:
+        """One unit: the whole ladder shares one trace set + warm set."""
+        return (
+            TraceUnit(triples=tuple(self.trace_triples()), config=self.config),
+        )
 
     def cache_key_fields(self) -> dict:
         """Content-hash fields for the on-disk result cache."""

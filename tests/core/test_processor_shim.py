@@ -1,0 +1,89 @@
+"""Back-compat contract of the ``repro.core.processor`` shim.
+
+PR 5 decomposed the processor monolith into the ``repro.core.engine``
+package; the old module survives as a re-export shim so every existing
+import site (tests, runner workers, pickled references) keeps working.
+The contract: every public name previously importable from
+``repro.core.processor`` still imports from the old path **and is the
+same object** as the engine definition — re-exports, not copies, so
+monkeypatching/state mutation through either path stays coherent.
+"""
+
+import importlib
+
+import pytest
+
+import repro.core.engine as engine_pkg
+import repro.core.processor as shim
+from repro.core.engine.engine import Processor as EngineProcessor
+from repro.core.engine.state import Pipeline as EnginePipeline
+from repro.core.engine import warm as warm_module
+
+#: Every name the pre-split module exported (its ``__all__`` plus the
+#: module-level constants tests imported directly).
+LEGACY_PUBLIC_NAMES = [
+    "Processor",
+    "Pipeline",
+    "clear_warm_cache",
+    "set_warm_store",
+    "ensure_warm_snapshot",
+    "warm_snapshot_path",
+    "S_FREE",
+    "S_WAITING",
+    "S_READY",
+    "S_ISSUED",
+    "S_DONE",
+    "FL_WRONGPATH",
+    "FL_MISPRED",
+    "FL_LOADCTR",
+    "EV_COMPLETE",
+    "EV_FLUSHCHK",
+]
+
+
+@pytest.mark.parametrize("name", LEGACY_PUBLIC_NAMES)
+def test_legacy_name_importable_and_identical(name):
+    """``from repro.core.processor import <name>`` still works and hands
+    out the engine package's object itself."""
+    module = importlib.import_module("repro.core.processor")
+    via_shim = getattr(module, name)
+    via_engine = getattr(engine_pkg, name)
+    assert via_shim is via_engine
+
+
+def test_legacy_all_is_superset_of_pre_split_exports():
+    for name in ("Processor", "Pipeline", "clear_warm_cache",
+                 "set_warm_store", "ensure_warm_snapshot",
+                 "warm_snapshot_path"):
+        assert name in shim.__all__
+
+
+def test_core_classes_are_the_engine_definitions():
+    assert shim.Processor is EngineProcessor
+    assert shim.Pipeline is EnginePipeline
+
+
+def test_warm_store_state_is_shared_through_the_shim(tmp_path):
+    """The shim's ``set_warm_store`` must mutate the engine's store
+    global (one state, two import paths), and ``clear_warm_cache`` must
+    drop the engine-side memo."""
+    try:
+        shim.set_warm_store(str(tmp_path))
+        assert warm_module._WARM_STORE_DIR == str(tmp_path)
+    finally:
+        shim.set_warm_store(None)
+    assert warm_module._WARM_STORE_DIR is None
+
+    warm_module._WARM_CACHE[("sentinel",)] = ((), None)
+    shim.clear_warm_cache()
+    assert ("sentinel",) not in warm_module._WARM_CACHE
+
+
+def test_shim_is_thin():
+    """The old module must stay a re-export shim (< 100 lines), not grow
+    logic back."""
+    import inspect
+
+    source = inspect.getsource(shim)
+    assert len(source.splitlines()) < 100
+    assert "class Processor" not in source

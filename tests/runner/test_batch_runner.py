@@ -62,14 +62,14 @@ def test_disk_cache_hits_skip_simulation(tmp_path, monkeypatch, sim_jobs):
     assert len(list(tmp_path.glob("*.json"))) == 2
 
     # Second runner over the same directory must serve from disk: poison
-    # run_simulation to prove no simulation happens.
-    import repro.runner.batch as batch_mod
+    # run_simulation (the only compute path under SimJob.execute) to
+    # prove no simulation happens.
+    import repro.runner.jobs as jobs_mod
 
     def boom(*a, **k):  # pragma: no cover - would only run on cache miss
         raise AssertionError("cache miss: simulation re-ran")
 
-    monkeypatch.setattr(batch_mod, "run_simulation", boom)
-    monkeypatch.setattr(SimJob, "execute", boom)
+    monkeypatch.setattr(jobs_mod, "run_simulation", boom)
     with BatchRunner(workers=1, cache_dir=tmp_path) as runner:
         again = runner.run(sim_jobs[:2])
     assert again == first

@@ -83,21 +83,19 @@ def test_bundled_runs_equal_run_simulation(tiny_scale):
 def test_result_cache_is_per_run_and_bundle_independent(tmp_path, tiny_scale):
     """Bundle runs cache under their SimJob identities: a re-bundled (or
     per-job) sweep hits the same entries, independent of composition."""
-    from repro.runner.batch import _run_one
-
     run_a = ContinuationRun("M8", ("gzip",), (0,), tiny_scale.commit_target)
     run_b = ContinuationRun("M8", ("twolf",), (0,), tiny_scale.commit_target)
     cache = ResultCache(tmp_path)
-    first = _run_one(ContinuationJob(runs=(run_a, run_b)), cache)
+    first = ContinuationJob(runs=(run_a, run_b)).execute(cache)
     assert cache.misses == 2 and cache.hits == 0
     # Different bundling, same runs: both served from cache.
     again = tuple(
-        _run_one(ContinuationJob(runs=(r,)), cache)[0] for r in (run_b, run_a)
+        ContinuationJob(runs=(r,)).execute(cache)[0] for r in (run_b, run_a)
     )
     assert cache.hits == 2
     assert again == (first[1], first[0])
     # The per-job scheduler's SimJob identity hits the same entry.
-    assert _run_one(run_a.as_sim_job(), cache) == first[0]
+    assert run_a.as_sim_job().execute(cache) == first[0]
     assert cache.hits == 3
 
 
@@ -120,10 +118,11 @@ class RecordingRunner(BatchRunner):
 
 
 def test_sweep_resume_counts_match_exact_mode_run_counts(tiny_scale):
-    """Exact-mode sweep: the continuation bundles must resume exactly the
-    full-length runs the per-job scheduler dispatched — one per distinct
-    BEST/HEUR/WORST mapping of every screened pair, plus one per
-    single-mapping pair — partitioned into at most worker-count bundles.
+    """Exact-mode sweep: the bundles must execute exactly the runs the
+    per-job scheduler dispatched — one screen per candidate mapping and
+    one full run per single-mapping pair in phase 1 (packed into at most
+    worker-count bundles), then one full-length run per distinct
+    BEST/HEUR/WORST mapping of every screened pair in phase 2.
     """
     clear_result_cache()
     configs = ["M8", "2M4+2M2"]
@@ -140,9 +139,27 @@ def test_sweep_resume_counts_match_exact_mode_run_counts(tiny_scale):
     screened = [p for p in plans if p.single_map is None]
     assert singles and screened  # the scenario covers both paths
 
+    # Phase 1: exact-mode screens ride in the same worker-count-sized
+    # bundles as the single-mapping pairs' full runs — at most
+    # ``workers`` jobs total where the per-job scheduler dispatched
+    # one SimJob per candidate mapping.
     phase1_bundles = [j for j in runner.batches[0]
                       if isinstance(j, ContinuationJob)]
-    assert sum(j.resume_count for j in phase1_bundles) == len(singles)
+    assert phase1_bundles == list(runner.batches[0])  # no per-run jobs left
+    assert len(phase1_bundles) <= runner.workers
+    phase1_runs = [r for j in phase1_bundles for r in j.runs]
+    single_runs = [r for r in phase1_runs
+                   if r.commit_target == tiny_scale.commit_target]
+    screen_runs = [r for r in phase1_runs
+                   if r.commit_target == tiny_scale.screen_target]
+    assert len(single_runs) + len(screen_runs) == len(phase1_runs)
+    assert len(single_runs) == len(singles)
+    assert len(screen_runs) == sum(len(p.candidates) for p in screened)
+    # Every candidate screened exactly once, as the per-job path did.
+    assert {(r.config, r.benchmarks, r.mapping) for r in screen_runs} == {
+        (p.config_name, p.workload.benchmarks, m)
+        for p in screened for m in p.candidates
+    }
 
     phase2 = runner.batches[1]
     assert all(isinstance(j, ContinuationJob) for j in phase2)
