@@ -124,8 +124,11 @@ class MemoryHierarchy:
 
     def load_latency(self, addr: int, thread: int) -> int:
         """Latency-only :meth:`load` (identical probe sequence)."""
-        latency = self._l1_lat if self.dtlb.access(addr, thread) \
+        latency = (
+            self._l1_lat
+            if self.dtlb.access(addr, thread)
             else self._l1_lat + self._tlb_pen
+        )
         if not self.l1d.access(addr, thread):
             latency += self._l1_miss_pen
             if not self.l2.access(addr, thread):

@@ -58,8 +58,9 @@ def _legacy_issue(self, pl):
     budget = pl.width
     fu_avail = list(pl.fu_count)
     ready = pl.ready
-    entries, states, _, _, tidx_arr, _, _, seqs, epochs, flags_arr = \
+    entries, states, _, _, tidx_arr, _, _, seqs, epochs, flags_arr = (
         self._rob_arrays
+    )
     iq_used = pl.iq_used
     icount = self.icount
     mem_load = self.mem.load_latency
@@ -152,8 +153,9 @@ def _legacy_complete(self, t, slot):
     r = self.rob_entries
     base = t * r
     i = base + slot
-    entries, states, pend, deps_arr, tidx_arr, _, _, seqs, epochs, \
-        flags_arr = self._rob_arrays
+    entries, states, pend, deps_arr, tidx_arr, _, _, seqs, epochs, flags_arr = (
+        self._rob_arrays
+    )
     states[i] = S_DONE
     if slot == self.rob_head[t] and not self._head_done[t]:
         self._head_done[t] = True

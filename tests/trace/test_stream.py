@@ -89,8 +89,8 @@ def test_store_served_fetch_view_never_materializes(trace_store):
     served = trace_for("gcc", 1800)
     assert served.packed is not None
     for i in range(1800):
-        blk = (served._entry_blocks and
-               served._entry_blocks[i >> FETCH_SHIFT]) or \
-            served.entry_block(i >> FETCH_SHIFT)
+        blk = (
+            served._entry_blocks and served._entry_blocks[i >> FETCH_SHIFT]
+        ) or served.entry_block(i >> FETCH_SHIFT)
         assert blk[i & FETCH_MASK] == reference[i]
     assert served._entries is None  # lazy backing held throughout
