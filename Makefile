@@ -30,7 +30,7 @@ test:
 
 lint:
 	ruff check src tests benchmarks
-	-ruff format --check src tests benchmarks  # diagnostic until the tree is formatter-clean (see ci.yml)
+	ruff format --check src tests benchmarks
 
 perf-gate:
 	REPRO_SIM_SCALE=0.1 $(PYTHON) benchmarks/perf_gate.py
