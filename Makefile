@@ -12,6 +12,9 @@
 #   make perf-gate  throughput-regression tripwire: re-runs the
 #                 throughput benchmarks (REPRO_SIM_SCALE=0.1) and fails
 #                 on >25% regression vs the committed BENCH_000N baseline
+#   make chaos    fault-injection suite against a real 2-worker pool
+#                 (worker deaths, hangs, corrupt cache entries; the CI
+#                 chaos lane)
 #   make ci       what the GitHub Actions workflow runs: tier-1 suite +
 #                 a smoke `figures` sweep (tiny scale, 2 workers)
 #
@@ -23,10 +26,14 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test cov bench bench-throughput figures ci lint perf-gate
+.PHONY: test cov bench bench-throughput figures ci lint perf-gate chaos
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+chaos:
+	REPRO_WORKERS=2 $(PYTHON) -m pytest -x -q \
+		tests/runner/test_faults.py tests/runner/test_resilience.py
 
 lint:
 	ruff check src tests benchmarks

@@ -3,11 +3,13 @@
 
 Snapshots the committed ``BENCH_000N.json`` baseline *before* the
 benchmarks overwrite it, re-runs the throughput suite
-(``RUN_BENCH=1 pytest benchmarks/test_simulator_throughput.py``), then
-compares the fresh ``perf_gate`` reference section of ``BENCH_0005.json``
-(written by ``test_engine_package_throughput``) — single-simulation
-cycles/sec and the fixed-scale reference-sweep wall clock — against the
-newest committed snapshot that records one (baseline discovery walks
+(``RUN_BENCH=1 pytest benchmarks/test_simulator_throughput.py
+benchmarks/test_fault_tolerance.py``), then compares the fresh
+``perf_gate`` reference section of ``BENCH_0006.json`` (written by
+``test_fault_tolerance_overhead``, so the gate measures the supervised
+dispatch path the sweeps actually run) — single-simulation cycles/sec
+and the fixed-scale reference-sweep wall clock — against the newest
+committed snapshot that records one (baseline discovery walks
 ``BENCH_0*.json`` newest-first, so appending ``BENCH_000N`` snapshots
 keeps working). A regression beyond ``PERF_GATE_TOLERANCE`` (default
 0.25, i.e. >25%) fails the gate.
@@ -36,7 +38,7 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-FRESH_SNAPSHOT = REPO_ROOT / "BENCH_0005.json"
+FRESH_SNAPSHOT = REPO_ROOT / "BENCH_0006.json"
 
 
 def snapshot_number(path: Path) -> int:
@@ -69,7 +71,8 @@ def run_benchmarks() -> int:
     env.setdefault("REPRO_SIM_SCALE", "0.1")
     env.setdefault("PYTHONPATH", str(REPO_ROOT / "src"))
     cmd = [sys.executable, "-m", "pytest",
-           "benchmarks/test_simulator_throughput.py", "-q"]
+           "benchmarks/test_simulator_throughput.py",
+           "benchmarks/test_fault_tolerance.py", "-q"]
     # e.g. PERF_GATE_PYTEST_ARGS="-k test_continuation_sweep_throughput"
     # narrows the run to just the test that produces the gate reference.
     extra = os.environ.get("PERF_GATE_PYTEST_ARGS")
@@ -84,9 +87,9 @@ def main() -> int:
     tolerance = float(os.environ.get("PERF_GATE_TOLERANCE", "0.25"))
     baseline, baseline_path = load_gate_baseline()
 
-    # The benchmark module rewrites every BENCH_000N.json it owns; only
-    # BENCH_0005 carries the fresh gate reference (and merge-protects its
-    # full-scale record itself). Preserve the other committed snapshots —
+    # The benchmark modules rewrite every BENCH_000N.json they own; only
+    # BENCH_0006 carries the fresh gate reference (and merge-protects its
+    # other sections itself). Preserve the other committed snapshots —
     # they are this-machine historical records, not gate outputs — so the
     # gate never leaves the tree dirty with wrong-machine numbers.
     preserved = {

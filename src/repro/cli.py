@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import List, Optional
 
 from repro.area.model import area_report, config_area
@@ -33,6 +34,7 @@ from repro.experiments.performance import (
 from repro.experiments.scale import ExperimentScale, default_scale
 from repro.experiments.summary import headline_summary, summary_report
 from repro.metrics.tables import format_table
+from repro.runner import BatchRunner, RetryPolicy
 from repro.trace.benchmarks import BENCHMARK_NAMES
 from repro.trace.profiling import profile_benchmark
 from repro.workloads.definitions import WORKLOADS, get_workload
@@ -95,20 +97,29 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     if args.scale:
         scale = ExperimentScale().scaled(args.scale)
     workloads = args.workloads or None
-    results = run_performance_experiment(
-        workload_names=workloads,
-        scale=scale,
-        progress=not args.quiet,
-        workers=args.jobs,
-        screening=args.screening,
-        bundle_count=args.bundles,
-    )
+    policy = RetryPolicy.from_env()
+    if args.job_timeout is not None:
+        policy = replace(policy, timeout=args.job_timeout)
+    if args.max_attempts is not None:
+        policy = replace(policy, max_attempts=max(1, args.max_attempts))
+    with BatchRunner(workers=args.jobs, policy=policy) as runner:
+        results = run_performance_experiment(
+            workload_names=workloads,
+            scale=scale,
+            progress=not args.quiet,
+            runner=runner,
+            screening=args.screening,
+            bundle_count=args.bundles,
+        )
+        report = runner.report
     for cls in ("ILP", "MEM", "MIX"):
         print(fig4_table(results, cls))
         print()
         print(fig5_table(results, cls))
         print()
     print(summary_report(headline_summary(results)))
+    if not args.quiet and report.jobs:
+        print(f"\nrun report: {report.describe()}")
     return 0
 
 
@@ -157,6 +168,22 @@ def build_parser() -> argparse.ArgumentParser:
         "how many worker jobs the exact-mode screens and the "
         "full-length continuations are packed into; purely a "
         "scheduling knob — results are identical for any value",
+    )
+    p_fig.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        help="per-job wall-clock budget in seconds for the supervised "
+        "dispatch (heavy jobs get 4x); timed-out jobs retry with "
+        "backoff (default: REPRO_JOB_TIMEOUT, unset = no deadline)",
+    )
+    p_fig.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        help="executions a failing job may consume before the sweep "
+        "aborts (default: REPRO_MAX_ATTEMPTS or 3; retries are safe — "
+        "jobs are idempotent)",
     )
     p_fig.add_argument(
         "--screening",

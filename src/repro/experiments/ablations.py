@@ -21,6 +21,7 @@ order, preserving the seed path's first-strict-max tie-breaks.
 
 from __future__ import annotations
 
+import logging
 from contextlib import contextmanager
 from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -49,13 +50,19 @@ __all__ = [
     "ablation_mapping_policy",
 ]
 
+logger = logging.getLogger(__name__)
+
 
 @contextmanager
 def _runner_for(runner: Optional[BatchRunner], workers: Optional[int]):
     """Yield the given runner, or a temporary one closed on exit.
 
     ``workers=None`` defers to the BatchRunner default (``REPRO_WORKERS``,
-    then the cpu count), matching the module docstring's promise.
+    then the cpu count), matching the module docstring's promise. When a
+    temporary runner's supervised dispatch had to recover from faults
+    (retries, pool respawns, corrupt cache entries, ...), the runner's
+    :class:`~repro.runner.resilience.RunReport` is logged before closing
+    — a caller-provided runner keeps its own cumulative report instead.
     """
     if runner is not None:
         yield runner
@@ -64,6 +71,8 @@ def _runner_for(runner: Optional[BatchRunner], workers: Optional[int]):
     try:
         yield own
     finally:
+        if own.report.eventful:
+            logger.info("ablation batch: %s", own.report.describe())
         own.close()
 
 

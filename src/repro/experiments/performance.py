@@ -408,6 +408,11 @@ def run_performance_experiment(
     :class:`~repro.runner.continuation.ContinuationJob` bundles per batch
     (default: the runner's worker count); results are identical for any
     value — it is purely a scheduling knob.
+
+    Parallel batches run supervised (retry/timeout/pool respawn; see
+    :mod:`repro.runner.resilience`); with ``progress=True`` the sweep
+    footer prints the runner's :class:`~repro.runner.resilience.RunReport`
+    so long sweeps say how much fault handling they needed.
     """
     scale = scale or default_scale()
     if workload_names is None:
@@ -435,6 +440,11 @@ def run_performance_experiment(
                       flush=True)
             _execute_plans(todo, scale, runner, progress=progress,
                            bundle_count=bundle_count)
+            if progress:  # pragma: no cover - console feedback only
+                print(f"  {runner.report.describe()}", flush=True)
+                if runner.report.eventful:
+                    print("  (recovery events occurred; results are "
+                          "bit-identical regardless)", flush=True)
         results: Dict[str, Dict[str, WorkloadResult]] = {
             cn: {} for cn in config_names
         }

@@ -13,14 +13,19 @@ def atomic_write_bytes(path: str | os.PathLike, payload: bytes) -> None:
 
     Concurrent writers race harmlessly — the last rename wins with a
     complete payload — and a failure mid-write leaves no partial file at
-    ``path``. Used by every on-disk store (results, packed traces, warm
-    snapshots) so the write discipline stays in one place.
+    ``path``: the payload is flushed and fsynced before the rename, so
+    even a process killed mid-write (or a power cut straddling the
+    rename) can only leave the old entry or the complete new one. Used by
+    every on-disk store (results, packed traces, warm snapshots) so the
+    write discipline stays in one place.
     """
     directory = os.path.dirname(os.fspath(path)) or "."
     fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
     try:
         with os.fdopen(fd, "wb") as fh:
             fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, path)
     except BaseException:
         try:

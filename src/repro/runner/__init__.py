@@ -38,7 +38,18 @@ fans them out over a :class:`concurrent.futures.ProcessPoolExecutor`:
   *and* exact-mode screens — into a handful of bundles sized to the
   worker count (:func:`~repro.runner.continuation.plan_bundles` /
   :func:`~repro.runner.continuation.run_bundled`), so the pool executes
-  a few large jobs instead of draining one job per run.
+  a few large jobs instead of draining one job per run;
+* **supervised, fault-tolerant dispatch** — parallel batches run through
+  :class:`~repro.runner.resilience.SupervisedExecutor`: per-job futures
+  with configurable timeouts (:class:`~repro.runner.resilience.
+  RetryPolicy`), exponential-backoff retries (free and safe because jobs
+  are idempotent), automatic pool respawn on ``BrokenProcessPool``, and
+  inline degradation when the pool breaks repeatedly. Every recovery
+  event lands in a structured
+  :class:`~repro.runner.resilience.RunReport` (``runner.report``), and a
+  deterministic fault-injection harness (:mod:`repro.runner.faults`,
+  env-gated by ``REPRO_FAULT_PLAN``) exercises each path with real
+  worker processes.
 
 Worker count: the ``workers`` argument, else the ``REPRO_WORKERS``
 environment variable, else ``os.cpu_count()``. ``workers=1`` (or a batch
@@ -54,6 +65,13 @@ from repro.runner.continuation import (
     run_bundled,
 )
 from repro.runner.jobs import Job, SimJob, TraceUnit
+from repro.runner.resilience import (
+    JobError,
+    JobTimeoutError,
+    RetryPolicy,
+    RunReport,
+    SupervisedExecutor,
+)
 from repro.runner.screening import HalvingScreen
 
 __all__ = [
@@ -67,4 +85,9 @@ __all__ = [
     "ContinuationRun",
     "plan_bundles",
     "run_bundled",
+    "RetryPolicy",
+    "RunReport",
+    "SupervisedExecutor",
+    "JobError",
+    "JobTimeoutError",
 ]

@@ -11,6 +11,15 @@ the batch ran inline or across processes. Every job kind —
 same dispatch, cache and trace-prepack path; the runner never
 special-cases a job class.
 
+Parallel batches are *supervised* (see :mod:`repro.runner.resilience`):
+each job is submitted as its own future with a per-job timeout, failed
+or timed-out jobs retry with exponential backoff (safe — every job is an
+idempotent pure function of its identity), a broken pool is respawned
+instead of propagating ``BrokenProcessPool``, and a pool that keeps
+breaking degrades the batch to inline execution. The accumulated
+:class:`~repro.runner.resilience.RunReport` (``runner.report``) records
+how much fault handling a sweep needed.
+
 Workers share two content-addressed stores through one directory:
 
 * a :class:`~repro.trace.packed.PackedTraceStore` — before a parallel
@@ -29,6 +38,7 @@ runner. Pass ``trace_store=False`` to disable the machinery entirely.
 
 from __future__ import annotations
 
+import logging
 import os
 import tempfile
 from concurrent.futures import ProcessPoolExecutor
@@ -36,8 +46,11 @@ from typing import List, Optional, Sequence, Set, Tuple, Union
 
 from repro.runner.cache import ResultCache
 from repro.runner.jobs import SimJob
+from repro.runner.resilience import RetryPolicy, RunReport, SupervisedExecutor
 
 __all__ = ["BatchRunner", "SimJob", "resolve_workers"]
+
+logger = logging.getLogger(__name__)
 
 #: Fewer jobs than this run inline: process spawn + pickle overhead would
 #: exceed the win (a full-length run takes ~100 ms, a screen far less).
@@ -58,6 +71,13 @@ def resolve_workers(workers: Optional[int] = None) -> int:
         try:
             return max(1, int(env))
         except ValueError:
+            # Log what the `from None` below swallows before refusing the
+            # value — a sweep dying on a typo'd env var must say why.
+            logger.warning(
+                "invalid REPRO_WORKERS=%r: not an integer; refusing to "
+                "guess a worker count",
+                env,
+            )
             raise ValueError(
                 f"REPRO_WORKERS must be an integer, got {env!r}"
             ) from None
@@ -92,6 +112,12 @@ def _init_worker(cache_dir: Optional[str], store_dir: Optional[str]) -> None:
 
 
 def _execute_job(job):
+    """Legacy worker entry point: raw result, no supervision side-band.
+
+    Kept as the reference implementation the equivalence tests and the
+    fault-tolerance overhead benchmark compare the supervised path
+    against (see :meth:`BatchRunner._run_pool_map`).
+    """
     cache = (
         ResultCache(_WORKER_CACHE_DIR)
         if _WORKER_CACHE_DIR is not None
@@ -100,9 +126,33 @@ def _execute_job(job):
     return job.execute(cache)
 
 
+def _execute_job_supervised(job):
+    """Supervised worker entry point: ``(result, stats)``.
+
+    The fault-injection hook runs first (a no-op without
+    ``REPRO_FAULT_PLAN`` — see :mod:`repro.runner.faults`), standing in
+    for the real worker failures the supervisor must survive. ``stats``
+    carries worker-side recovery counters back to the parent's
+    :class:`~repro.runner.resilience.RunReport`; the per-call
+    :class:`~repro.runner.cache.ResultCache` makes its counter a
+    this-job delta.
+    """
+    from repro.runner.faults import maybe_inject_fault
+
+    maybe_inject_fault(job)
+    cache = (
+        ResultCache(_WORKER_CACHE_DIR)
+        if _WORKER_CACHE_DIR is not None
+        else None
+    )
+    result = job.execute(cache)
+    stats = {"cache_fallbacks": cache.corrupt_fallbacks if cache else 0}
+    return result, stats
+
+
 class BatchRunner:
     """Execute batches of :class:`~repro.runner.jobs.Job` objects with
-    optional parallelism.
+    optional parallelism and supervised fault tolerance.
 
     Parameters
     ----------
@@ -117,10 +167,18 @@ class BatchRunner:
         ``None`` (the default) resolves to ``REPRO_TRACE_CACHE`` or — for
         parallel runners — a private temporary directory removed by
         :meth:`close`; ``False`` disables the store machinery.
+    policy:
+        :class:`~repro.runner.resilience.RetryPolicy` for the supervised
+        dispatch (attempt budget, backoff, per-job timeout, respawn
+        budget); defaults to :meth:`RetryPolicy.from_env`
+        (``REPRO_JOB_TIMEOUT`` / ``REPRO_MAX_ATTEMPTS`` /
+        ``REPRO_RETRY_BACKOFF`` / ``REPRO_MAX_POOL_RESPAWNS``).
 
     Results are independent of the worker count — simulations are pure
     functions of their job — so callers may treat ``workers`` purely as a
-    throughput knob.
+    throughput knob. ``runner.report`` accumulates a structured
+    :class:`~repro.runner.resilience.RunReport` of every recovery event
+    across the runner's lifetime.
     """
 
     def __init__(
@@ -128,10 +186,13 @@ class BatchRunner:
         workers: Optional[int] = None,
         cache_dir: Optional[Union[str, os.PathLike]] = None,
         trace_store: Union[None, bool, str, os.PathLike] = None,
+        policy: Optional[RetryPolicy] = None,
     ) -> None:
-        self._pool: Optional[ProcessPoolExecutor] = None  # before any raise
+        self._supervisor: Optional[SupervisedExecutor] = None  # before any raise
         self._own_store_tmp: Optional[tempfile.TemporaryDirectory] = None
         self.workers = resolve_workers(workers)
+        self.policy = policy if policy is not None else RetryPolicy.from_env()
+        self.report = RunReport()
         if cache_dir is None:
             cache_dir = os.environ.get("REPRO_RESULT_CACHE") or None
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
@@ -158,13 +219,30 @@ class BatchRunner:
     #
     # The worker pool persists across run() calls so an experiment sweep
     # pays process start-up once and the workers' process-local trace /
-    # warm-state caches stay hot between batches.
+    # warm-state caches stay hot between batches. The supervisor respawns
+    # it transparently when it breaks.
+
+    def _make_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_init_worker,
+            initargs=(self.cache_dir, self.store_dir),
+        )
+
+    def _execute_inline(self, job):
+        """Parent-process execution with the supervised ``(result, stats)``
+        contract (the small-batch path and the degraded-pool fallback)."""
+        cache = self.cache
+        before = cache.corrupt_fallbacks if cache is not None else 0
+        result = job.execute(cache)
+        after = cache.corrupt_fallbacks if cache is not None else 0
+        return result, {"cache_fallbacks": after - before}
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Shut the worker pool down (idempotent; double-close safe)."""
+        if self._supervisor is not None:
+            self._supervisor.close()
+            self._supervisor = None
         if self._own_store_tmp is not None:
             self._own_store_tmp.cleanup()
             self._own_store_tmp = None
@@ -177,11 +255,15 @@ class BatchRunner:
         self.close()
 
     def __del__(self) -> None:  # pragma: no cover - GC safety net
-        if self._pool is not None:
-            self._pool.shutdown(wait=False)
-            self._pool = None
-        if self._own_store_tmp is not None:
-            self._own_store_tmp.cleanup()
+        # getattr guards: __init__ may have raised before the attributes
+        # existed, and close() may already have run (double-cleanup).
+        supervisor = getattr(self, "_supervisor", None)
+        if supervisor is not None:
+            supervisor.close(kill=True)
+            self._supervisor = None
+        own_tmp = getattr(self, "_own_store_tmp", None)
+        if own_tmp is not None:
+            own_tmp.cleanup()
             self._own_store_tmp = None
 
     # -- execution ---------------------------------------------------------
@@ -194,6 +276,14 @@ class BatchRunner:
         :class:`~repro.runner.screening.ScreenJob`,
         :class:`~repro.runner.continuation.ContinuationJob`, ...): one
         dispatch path, no per-kind cases.
+
+        Parallel batches run supervised: per-job futures with timeout,
+        retry/backoff, pool respawn and inline degradation (see
+        :mod:`repro.runner.resilience`); results are bit-identical to
+        sequential execution regardless of which recovery paths fire.
+        ``KeyboardInterrupt`` cancels outstanding futures and shuts the
+        pool down without waiting, so Ctrl-C on a sweep exits promptly
+        instead of leaking workers.
         """
         jobs = list(jobs)
         self.jobs_run += len(jobs)
@@ -203,16 +293,64 @@ class BatchRunner:
             else _MIN_PARALLEL_JOBS
         )
         if self.workers <= 1 or len(jobs) < min_jobs:
-            return [job.execute(self.cache) for job in jobs]
+            return self._run_inline(jobs)
         self._prepack_traces(jobs)
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers,
-                initializer=_init_worker,
-                initargs=(self.cache_dir, self.store_dir),
+        if self._supervisor is None:
+            self._supervisor = SupervisedExecutor(
+                pool_factory=self._make_pool,
+                worker_fn=_execute_job_supervised,
+                inline_fn=self._execute_inline,
+                policy=self.policy,
+                report=self.report,
             )
-        chunksize = max(1, len(jobs) // (self.workers * 4))
-        return list(self._pool.map(_execute_job, jobs, chunksize=chunksize))
+        try:
+            return self._supervisor.run(jobs)
+        except KeyboardInterrupt:
+            # The supervisor already killed its pool and cancelled the
+            # outstanding futures on the way out; drop it so a resumed
+            # runner starts from a clean slate.
+            self._supervisor = None
+            raise
+
+    def _run_inline(self, jobs: Sequence) -> List:
+        """Sequential execution with the same report bookkeeping."""
+        report = self.report
+        report.batches += 1
+        report.jobs += len(jobs)
+        import time as _time
+
+        t0 = _time.monotonic()
+        results = []
+        try:
+            for job in jobs:
+                j0 = _time.monotonic()
+                result, stats = self._execute_inline(job)
+                results.append(result)
+                report.attempts += 1
+                report.job_seconds.append(_time.monotonic() - j0)
+                report.absorb_worker_stats(stats)
+        finally:
+            report.wall_seconds += _time.monotonic() - t0
+        return results
+
+    def _run_pool_map(self, jobs: Sequence) -> List:
+        """The pre-resilience dispatch, verbatim: one ``pool.map`` over a
+        private pool, no supervision.
+
+        Not used by any production path — it is the A/B reference for the
+        supervised path's equivalence tests and the no-fault overhead
+        benchmark (``benchmarks/test_fault_tolerance.py``). One worker
+        crash or hang kills/stalls the whole batch, which is exactly the
+        behaviour the supervisor replaced.
+        """
+        jobs = list(jobs)
+        self._prepack_traces(jobs)
+        pool = self._make_pool()
+        try:
+            chunksize = max(1, len(jobs) // (self.workers * 4))
+            return list(pool.map(_execute_job, jobs, chunksize=chunksize))
+        finally:
+            pool.shutdown(wait=True)
 
     def _prepack_traces(self, jobs: Sequence) -> None:
         """Pack the batch's traces and warm snapshots into the shared store.

@@ -16,6 +16,7 @@ can share one cache directory.
 from __future__ import annotations
 
 import json
+import logging
 import os
 from hashlib import sha256
 from pathlib import Path
@@ -31,6 +32,8 @@ __all__ = [
     "sim_result_payload",
     "sim_result_restore",
 ]
+
+logger = logging.getLogger(__name__)
 
 #: Bump when the simulation engine's observable behaviour changes: cached
 #: results are keyed on it, so stale caches invalidate themselves.
@@ -76,6 +79,10 @@ class ResultCache:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        #: misses caused by a *corrupt* entry (truncated/garbled payload),
+        #: as opposed to a plain absent one — the second line of defense
+        #: behind atomic writes, surfaced in the runner's RunReport.
+        self.corrupt_fallbacks = 0
 
     # -- keying ------------------------------------------------------------
 
@@ -110,16 +117,29 @@ class ResultCache:
 
         Any unreadable payload — truncated file, invalid JSON, missing or
         mistyped fields — counts as a miss: the caller recomputes and the
-        fresh ``put`` overwrites the damaged entry.
+        fresh ``put`` overwrites the damaged entry. An entry that *exists*
+        but cannot be decoded additionally counts as a corrupt fallback
+        (``corrupt_fallbacks``) and logs what was swallowed.
         """
         path = self._path(self.job_key(job))
         try:
             payload = json.loads(path.read_text())
             result = job.restore_result(payload)
-        except (OSError, ValueError, KeyError, TypeError):
-            # ValueError covers json.JSONDecodeError; OSError covers a
-            # vanished/unreadable file.
+        except FileNotFoundError:
             self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            # ValueError covers json.JSONDecodeError; OSError covers an
+            # unreadable file. The entry was there but unusable: recompute
+            # (the fresh put overwrites it) and say why.
+            self.misses += 1
+            self.corrupt_fallbacks += 1
+            logger.warning(
+                "corrupt cache entry %s (%s: %s); recomputing",
+                path.name,
+                type(exc).__name__,
+                exc,
+            )
             return None
         self.hits += 1
         return result

@@ -1,0 +1,556 @@
+"""Supervised, fault-tolerant execution of runner jobs.
+
+:class:`~repro.runner.batch.BatchRunner` used to drive its worker pool
+with a single ``pool.map`` call: one worker OOM/segfault raised
+``BrokenProcessPool`` and destroyed the whole sweep, a hung job stalled
+it forever, and there was no retry story at all. This module replaces
+that dispatch with a :class:`SupervisedExecutor` that submits jobs
+individually and tracks each future:
+
+* **per-job timeouts** — every submission gets a deadline from its
+  :class:`RetryPolicy` (heavy jobs — screen ladders, continuation
+  bundles — get a proportionally larger budget). A hung worker cannot be
+  cancelled, so an expired deadline kills the pool's processes outright
+  and resubmits the surviving in-flight jobs; the timed-out job retries
+  against its bounded attempt count.
+* **retry with exponential backoff** — failed or timed-out jobs are
+  re-submitted after ``backoff_base * backoff_factor**(attempt-1)``
+  seconds. Retries are free and safe because every job is a pure
+  function of its ``cache_key_fields()`` identity (the idempotency
+  contract of :mod:`repro.runner.jobs`), so a re-execution is
+  bit-identical to the first.
+* **pool self-healing** — a broken pool (worker killed, ``os._exit``,
+  unpicklable crash) is respawned instead of propagating
+  ``BrokenProcessPool``; jobs that were in flight resubmit with no
+  attempt penalty (the breakage is the pool's fault, not theirs).
+* **graceful degradation** — when the pool breaks more than
+  ``max_pool_respawns`` times within one batch, the remaining jobs
+  drain *inline* in the parent (the ``workers<=1`` path), so a hostile
+  environment degrades a sweep to sequential speed instead of killing
+  it.
+
+Results keep the BatchRunner ordering contract — ``results[i]`` is the
+outcome of ``jobs[i]`` — and are bit-identical to the old ``pool.map``
+path (pinned by ``tests/runner/test_resilience.py``). Every recovery
+event is counted in a structured :class:`RunReport` threaded through the
+experiment drivers and the CLI, so sweeps report how much fault handling
+they needed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import logging
+import os
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "RetryPolicy",
+    "RunReport",
+    "SupervisedExecutor",
+    "JobError",
+    "JobTimeoutError",
+]
+
+logger = logging.getLogger(__name__)
+
+
+class JobError(RuntimeError):
+    """A job exhausted its attempt budget; the last failure is chained as
+    ``__cause__``."""
+
+    def __init__(self, message: str, job=None, attempts: int = 0) -> None:
+        super().__init__(message)
+        self.job = job
+        self.attempts = attempts
+
+
+class JobTimeoutError(JobError):
+    """A job's final attempt exceeded its wall-clock budget."""
+
+
+def _env_float(name: str, default: Optional[float]) -> Optional[float]:
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        logger.warning("ignoring %s=%r: not a number", name, raw)
+        return default
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        logger.warning("ignoring %s=%r: not an integer", name, raw)
+        return default
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Fault-handling knobs for one :class:`SupervisedExecutor`.
+
+    max_attempts:
+        Executions a job may consume (first try included) before its
+        failure propagates as :class:`JobError` / :class:`JobTimeoutError`.
+    backoff_base / backoff_factor / backoff_max:
+        Retry ``n`` waits ``backoff_base * backoff_factor**(n-1)``
+        seconds (clamped to ``backoff_max``) before resubmitting.
+    timeout:
+        Per-job wall-clock budget in seconds; ``None`` disables deadline
+        tracking (a hung worker then blocks forever, as the old
+        ``pool.map`` path did). Heavy jobs (``job.heavy`` — whole screen
+        ladders, continuation bundles) get ``timeout *
+        heavy_timeout_factor``.
+    max_pool_respawns:
+        Pool breakages tolerated within one batch before the executor
+        degrades to inline execution for the remaining jobs.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.1
+    backoff_factor: float = 2.0
+    backoff_max: float = 5.0
+    timeout: Optional[float] = None
+    heavy_timeout_factor: float = 4.0
+    max_pool_respawns: int = 3
+
+    @classmethod
+    def from_env(cls) -> "RetryPolicy":
+        """Policy from the environment: ``REPRO_JOB_TIMEOUT`` (seconds,
+        unset disables deadlines), ``REPRO_MAX_ATTEMPTS``,
+        ``REPRO_RETRY_BACKOFF`` (base seconds),
+        ``REPRO_MAX_POOL_RESPAWNS``."""
+        return cls(
+            max_attempts=max(1, _env_int("REPRO_MAX_ATTEMPTS", cls.max_attempts)),
+            backoff_base=_env_float("REPRO_RETRY_BACKOFF", cls.backoff_base),
+            timeout=_env_float("REPRO_JOB_TIMEOUT", None),
+            max_pool_respawns=max(
+                0, _env_int("REPRO_MAX_POOL_RESPAWNS", cls.max_pool_respawns)
+            ),
+        )
+
+    def timeout_for(self, job) -> Optional[float]:
+        """The job's wall-clock budget (heavy jobs get a larger one)."""
+        if self.timeout is None or self.timeout <= 0:
+            return None
+        if getattr(job, "heavy", False):
+            return self.timeout * self.heavy_timeout_factor
+        return self.timeout
+
+    def backoff_for(self, attempt: int) -> float:
+        """Seconds to wait before retry number ``attempt`` (1-based)."""
+        delay = self.backoff_base * self.backoff_factor ** max(0, attempt - 1)
+        return min(self.backoff_max, max(0.0, delay))
+
+
+@dataclass
+class RunReport:
+    """Structured account of how much fault handling a run needed.
+
+    Counters accumulate across every batch executed through one
+    :class:`~repro.runner.batch.BatchRunner` (inline and pooled alike);
+    ``job_seconds`` records the per-job wall clock of each completed job
+    (successful attempt only, submission to completion).
+    """
+
+    jobs: int = 0
+    batches: int = 0
+    attempts: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    failures: int = 0
+    pool_respawns: int = 0
+    inline_fallbacks: int = 0
+    cache_fallbacks: int = 0
+    wall_seconds: float = 0.0
+    job_seconds: List[float] = field(default_factory=list)
+
+    @property
+    def eventful(self) -> bool:
+        """True when any recovery machinery fired (a fault-free run of a
+        healthy pool is not eventful)."""
+        return bool(
+            self.retries
+            or self.timeouts
+            or self.failures
+            or self.pool_respawns
+            or self.inline_fallbacks
+            or self.cache_fallbacks
+        )
+
+    def absorb_worker_stats(self, stats: Optional[Dict[str, int]]) -> None:
+        """Fold one worker execution's side-band counters (currently the
+        corrupt-cache-entry fallbacks it recovered from) into the report."""
+        if stats:
+            self.cache_fallbacks += int(stats.get("cache_fallbacks", 0))
+
+    def merge(self, other: "RunReport") -> None:
+        self.jobs += other.jobs
+        self.batches += other.batches
+        self.attempts += other.attempts
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.failures += other.failures
+        self.pool_respawns += other.pool_respawns
+        self.inline_fallbacks += other.inline_fallbacks
+        self.cache_fallbacks += other.cache_fallbacks
+        self.wall_seconds += other.wall_seconds
+        self.job_seconds.extend(other.job_seconds)
+
+    def as_dict(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "batches": self.batches,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "failures": self.failures,
+            "pool_respawns": self.pool_respawns,
+            "inline_fallbacks": self.inline_fallbacks,
+            "cache_fallbacks": self.cache_fallbacks,
+            "wall_seconds": round(self.wall_seconds, 3),
+            "job_seconds_total": round(sum(self.job_seconds), 3),
+            "job_seconds_max": round(max(self.job_seconds, default=0.0), 3),
+            "job_seconds": [round(s, 4) for s in self.job_seconds],
+        }
+
+    def describe(self) -> str:
+        """One-line summary for sweep footers and logs."""
+        return (
+            f"{self.jobs} jobs / {self.attempts} attempts in "
+            f"{self.wall_seconds:.1f}s — {self.retries} retries, "
+            f"{self.timeouts} timeouts, {self.pool_respawns} pool "
+            f"respawns, {self.inline_fallbacks} inline fallbacks, "
+            f"{self.cache_fallbacks} cache fallbacks, "
+            f"{self.failures} hard failures"
+        )
+
+
+@dataclass
+class _Flight:
+    """One in-flight submission."""
+
+    index: int
+    attempt: int
+    started: float
+    deadline: Optional[float]
+
+
+class _BatchState:
+    """Bookkeeping for one :meth:`SupervisedExecutor.run` call."""
+
+    def __init__(self, n: int) -> None:
+        self.results: List = [None] * n
+        self.done: List[bool] = [False] * n
+        self.remaining = n
+        #: (index, attempt) pairs awaiting submission
+        self.queue: deque = deque((i, 1) for i in range(n))
+        #: min-heap of (ready_time, seq, index, attempt) backoff timers
+        self.retries: List[Tuple[float, int, int, int]] = []
+        self.inflight: Dict[object, _Flight] = {}
+        self.pool_breaks = 0
+        self.seq = itertools.count()
+
+
+class SupervisedExecutor:
+    """Per-job-future driver over a replaceable ``ProcessPoolExecutor``.
+
+    ``pool_factory`` builds a fresh pool (called lazily and again after
+    every respawn); ``worker_fn`` is the picklable module-level function
+    submitted per job and must return ``(result, stats_dict)``;
+    ``inline_fn`` executes a job in the parent with the same return
+    contract (the degraded path, which never touches the pool).
+    """
+
+    def __init__(
+        self,
+        pool_factory: Callable[[], object],
+        worker_fn: Callable,
+        inline_fn: Callable,
+        policy: Optional[RetryPolicy] = None,
+        report: Optional[RunReport] = None,
+    ) -> None:
+        self._pool_factory = pool_factory
+        self._worker_fn = worker_fn
+        self._inline_fn = inline_fn
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.report = report if report is not None else RunReport()
+        self._pool = None
+        self._inline_only = False
+
+    # -- pool lifecycle ----------------------------------------------------
+
+    def pool(self):
+        if self._pool is None:
+            self._pool = self._pool_factory()
+        return self._pool
+
+    def _shutdown_pool(self, kill: bool = False) -> None:
+        """Tear the current pool down; ``kill`` terminates its worker
+        processes first (the only way to reclaim a hung worker)."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        if kill:
+            for proc in list(getattr(pool, "_processes", {}).values() or []):
+                try:
+                    proc.terminate()
+                except Exception:  # pragma: no cover - already-dead worker
+                    pass
+        try:
+            pool.shutdown(wait=not kill, cancel_futures=True)
+        except Exception:  # pragma: no cover - broken executor internals
+            pass
+
+    def close(self, kill: bool = False) -> None:
+        """Shut the pool down (idempotent)."""
+        self._shutdown_pool(kill=kill)
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, jobs: Sequence) -> List:
+        """Execute every job with supervision; ``results[i]`` corresponds
+        to ``jobs[i]`` exactly as the unsupervised path's did."""
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        self._inline_only = False
+        report = self.report
+        report.batches += 1
+        report.jobs += len(jobs)
+        st = _BatchState(len(jobs))
+        t0 = time.monotonic()
+        try:
+            self._drive(jobs, st)
+        except BaseException:
+            # A batch that raises (hard job failure, Ctrl-C) must not
+            # leak a pool full of stale futures — or live workers — into
+            # the next run() call or past the interpreter.
+            self._shutdown_pool(kill=True)
+            raise
+        finally:
+            report.wall_seconds += time.monotonic() - t0
+        return st.results
+
+    def _drive(self, jobs: List, st: _BatchState) -> None:
+        while st.remaining:
+            now = time.monotonic()
+            while st.retries and st.retries[0][0] <= now:
+                _, _, i, attempt = heapq.heappop(st.retries)
+                st.queue.append((i, attempt))
+            if self._inline_only:
+                self._drain_inline(jobs, st)
+                return
+            self._submit_queued(jobs, st)
+            if self._inline_only or not st.remaining:
+                continue
+            if not st.inflight:
+                if st.retries:
+                    # Waiting purely on backoff timers.
+                    delay = st.retries[0][0] - time.monotonic()
+                    if delay > 0:
+                        time.sleep(min(delay, 0.5))
+                continue
+            finished = self._wait_for_events(st, self._wait_timeout(st))
+            if self._harvest(finished, jobs, st):
+                self._recover_pool_break(jobs, st)
+                continue
+            self._check_deadlines(jobs, st)
+
+    def _submit_queued(self, jobs: List, st: _BatchState) -> None:
+        while st.queue and not self._inline_only:
+            i, attempt = st.queue[0]
+            try:
+                fut = self.pool().submit(self._worker_fn, jobs[i])
+            except BrokenExecutor:
+                self._recover_pool_break(jobs, st)
+                continue
+            st.queue.popleft()
+            now = time.monotonic()
+            budget = self.policy.timeout_for(jobs[i])
+            st.inflight[fut] = _Flight(
+                i, attempt, now, None if budget is None else now + budget
+            )
+            self.report.attempts += 1
+            if attempt > 1:
+                self.report.retries += 1
+
+    def _wait_timeout(self, st: _BatchState) -> Optional[float]:
+        bounds = [
+            fl.deadline for fl in st.inflight.values() if fl.deadline is not None
+        ]
+        if st.retries:
+            bounds.append(st.retries[0][0])
+        if not bounds:
+            return None
+        return max(0.01, min(bounds) - time.monotonic())
+
+    def _wait_for_events(self, st: _BatchState, timeout: Optional[float]):
+        """Block until a future completes, a deadline nears, or a backoff
+        timer is due (a method so tests can intercept it)."""
+        done, _ = wait(
+            list(st.inflight), timeout=timeout, return_when=FIRST_COMPLETED
+        )
+        return done
+
+    def _harvest(self, finished, jobs: List, st: _BatchState) -> bool:
+        """Absorb completed futures; True when the pool broke."""
+        broken = False
+        for fut in finished:
+            fl = st.inflight.pop(fut, None)
+            if fl is None or st.done[fl.index]:
+                continue
+            try:
+                value = fut.result()
+            except BrokenExecutor:
+                # The pool's fault, not the job's: resubmit with no
+                # attempt penalty (degradation is bounded by the
+                # max_pool_respawns budget instead).
+                broken = True
+                st.queue.append((fl.index, fl.attempt))
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as exc:
+                self._record_failure(jobs, st, fl, exc)
+            else:
+                self._record_success(st, fl, value)
+        return broken
+
+    def _record_success(self, st: _BatchState, fl: _Flight, value) -> None:
+        result, stats = value
+        st.results[fl.index] = result
+        st.done[fl.index] = True
+        st.remaining -= 1
+        self.report.job_seconds.append(time.monotonic() - fl.started)
+        self.report.absorb_worker_stats(stats)
+
+    def _record_failure(self, jobs, st: _BatchState, fl: _Flight, exc) -> None:
+        if fl.attempt >= self.policy.max_attempts:
+            self.report.failures += 1
+            raise JobError(
+                f"job {fl.index} failed after {fl.attempt} attempts: {exc!r}",
+                job=jobs[fl.index],
+                attempts=fl.attempt,
+            ) from exc
+        delay = self.policy.backoff_for(fl.attempt)
+        logger.warning(
+            "job %d attempt %d failed (%s: %s); retrying in %.2fs",
+            fl.index,
+            fl.attempt,
+            type(exc).__name__,
+            exc,
+            delay,
+        )
+        heapq.heappush(
+            st.retries,
+            (time.monotonic() + delay, next(st.seq), fl.index, fl.attempt + 1),
+        )
+
+    def _salvage_inflight(self, st: _BatchState) -> None:
+        """The pool is about to be torn down: keep results that beat the
+        failure, requeue everything else with no attempt penalty."""
+        for fut, fl in list(st.inflight.items()):
+            salvaged = False
+            if fut.done():
+                try:
+                    value = fut.result()
+                except Exception:
+                    pass
+                else:
+                    self._record_success(st, fl, value)
+                    salvaged = True
+            if not salvaged and not st.done[fl.index]:
+                st.queue.append((fl.index, fl.attempt))
+        st.inflight.clear()
+
+    def _recover_pool_break(self, jobs: List, st: _BatchState) -> None:
+        self._salvage_inflight(st)
+        self._shutdown_pool(kill=True)
+        st.pool_breaks += 1
+        if st.pool_breaks > self.policy.max_pool_respawns:
+            logger.error(
+                "worker pool broke %d times; degrading %d remaining "
+                "job(s) to inline execution",
+                st.pool_breaks,
+                st.remaining,
+            )
+            self._inline_only = True
+            return
+        delay = self.policy.backoff_for(st.pool_breaks)
+        logger.warning(
+            "worker pool broke (break %d/%d); respawning in %.2fs",
+            st.pool_breaks,
+            self.policy.max_pool_respawns,
+            delay,
+        )
+        self.report.pool_respawns += 1
+        if delay > 0:
+            time.sleep(delay)
+        # The fresh pool is created lazily by the next submission.
+
+    def _check_deadlines(self, jobs: List, st: _BatchState) -> None:
+        now = time.monotonic()
+        expired = [
+            (fut, fl)
+            for fut, fl in st.inflight.items()
+            if fl.deadline is not None and now >= fl.deadline and not fut.done()
+        ]
+        if not expired:
+            return
+        for fut, fl in expired:
+            st.inflight.pop(fut)
+            self.report.timeouts += 1
+            budget = self.policy.timeout_for(jobs[fl.index])
+            if fl.attempt >= self.policy.max_attempts:
+                self.report.failures += 1
+                raise JobTimeoutError(
+                    f"job {fl.index} exceeded its {budget:.1f}s budget on "
+                    f"final attempt {fl.attempt}",
+                    job=jobs[fl.index],
+                    attempts=fl.attempt,
+                )
+            delay = self.policy.backoff_for(fl.attempt)
+            logger.warning(
+                "job %d attempt %d exceeded its %.1fs budget; killing the "
+                "pool and retrying in %.2fs",
+                fl.index,
+                fl.attempt,
+                budget,
+                delay,
+            )
+            heapq.heappush(
+                st.retries,
+                (now + delay, next(st.seq), fl.index, fl.attempt + 1),
+            )
+        # A running future cannot be cancelled: reclaim the hung worker by
+        # killing the whole pool, then resubmit the innocent bystanders.
+        self._salvage_inflight(st)
+        self._shutdown_pool(kill=True)
+        self.report.pool_respawns += 1
+
+    def _drain_inline(self, jobs: List, st: _BatchState) -> None:
+        st.queue.clear()
+        st.retries.clear()
+        for i, job in enumerate(jobs):
+            if st.done[i]:
+                continue
+            t0 = time.monotonic()
+            result, stats = self._inline_fn(job)
+            st.results[i] = result
+            st.done[i] = True
+            st.remaining -= 1
+            self.report.attempts += 1
+            self.report.inline_fallbacks += 1
+            self.report.job_seconds.append(time.monotonic() - t0)
+            self.report.absorb_worker_stats(stats)

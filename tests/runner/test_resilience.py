@@ -1,0 +1,199 @@
+"""Supervised dispatch: equivalence with the legacy pool.map path,
+policy/report plumbing, Ctrl-C behaviour, lifecycle hygiene."""
+
+import logging
+
+import pytest
+
+from repro.runner import (
+    BatchRunner,
+    RetryPolicy,
+    RunReport,
+    SimJob,
+    SupervisedExecutor,
+)
+from repro.runner.batch import resolve_workers
+from repro.runner.resilience import JobError
+
+
+# ---------------------------------------------------------------- equivalence
+
+
+def test_supervised_matches_pool_map_and_inline(sim_jobs):
+    """The tentpole contract: the supervised per-job-future path returns
+    bit-identical, identically ordered results to both the old pool.map
+    dispatch and plain inline execution."""
+    with BatchRunner(workers=1, trace_store=False) as seq:
+        inline = seq.run(sim_jobs)
+    with BatchRunner(workers=2, trace_store=False) as legacy:
+        pool_map = legacy._run_pool_map(sim_jobs)
+    with BatchRunner(workers=2, trace_store=False) as sup:
+        supervised = sup.run(sim_jobs)
+        report = sup.report
+    assert supervised == pool_map == inline
+    assert [r.mapping for r in supervised] == [j.mapping for j in sim_jobs]
+    # A healthy run is not eventful, and accounting is exact.
+    assert not report.eventful
+    assert report.jobs == report.attempts == len(sim_jobs)
+    assert len(report.job_seconds) == len(sim_jobs)
+
+
+def test_report_accumulates_across_batches(sim_jobs):
+    with BatchRunner(workers=2, trace_store=False) as runner:
+        runner.run(sim_jobs)
+        runner.run(sim_jobs)
+        assert runner.report.batches == 2
+        assert runner.report.jobs == 2 * len(sim_jobs)
+
+
+def test_inline_batches_share_the_report(sim_jobs):
+    with BatchRunner(workers=1) as runner:
+        runner.run(sim_jobs[:2])
+    assert runner.report.batches == 1
+    assert runner.report.jobs == 2
+    assert runner.report.attempts == 2
+    assert runner.report.wall_seconds > 0
+
+
+def test_hard_failure_raises_job_error_with_context():
+    bad = SimJob("M8", ("gzip", "twolf"), (0, 1), 300)  # invalid mapping
+    good = [SimJob("M8", ("gzip", "twolf"), (0, 0), 300, seed=i)
+            for i in range(3)]
+    policy = RetryPolicy(max_attempts=2, backoff_base=0.01)
+    with BatchRunner(workers=2, trace_store=False, policy=policy) as runner:
+        with pytest.raises(JobError) as exc_info:
+            runner.run(good + [bad])
+    assert exc_info.value.attempts == 2
+    assert exc_info.value.job == bad
+    assert runner.report.retries >= 1
+
+
+# ---------------------------------------------------------------- RetryPolicy
+
+
+def test_backoff_schedule_is_exponential_and_clamped():
+    p = RetryPolicy(backoff_base=0.1, backoff_factor=2.0, backoff_max=0.5)
+    assert p.backoff_for(1) == pytest.approx(0.1)
+    assert p.backoff_for(2) == pytest.approx(0.2)
+    assert p.backoff_for(3) == pytest.approx(0.4)
+    assert p.backoff_for(4) == pytest.approx(0.5)  # clamped
+    assert p.backoff_for(10) == pytest.approx(0.5)
+
+
+def test_heavy_jobs_get_a_larger_timeout_budget(sim_jobs):
+    from repro.runner.screening import ScreenJob
+
+    p = RetryPolicy(timeout=10.0, heavy_timeout_factor=4.0)
+    light = sim_jobs[0]
+    heavy = ScreenJob("M8", ("gzip", "twolf"), ((0, 0),), 300)
+    assert heavy.heavy and not light.heavy
+    assert p.timeout_for(light) == pytest.approx(10.0)
+    assert p.timeout_for(heavy) == pytest.approx(40.0)
+    assert RetryPolicy(timeout=None).timeout_for(light) is None
+
+
+def test_policy_from_env(monkeypatch):
+    monkeypatch.setenv("REPRO_MAX_ATTEMPTS", "5")
+    monkeypatch.setenv("REPRO_JOB_TIMEOUT", "12.5")
+    monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0.25")
+    monkeypatch.setenv("REPRO_MAX_POOL_RESPAWNS", "1")
+    p = RetryPolicy.from_env()
+    assert p.max_attempts == 5
+    assert p.timeout == pytest.approx(12.5)
+    assert p.backoff_base == pytest.approx(0.25)
+    assert p.max_pool_respawns == 1
+
+
+def test_policy_from_env_ignores_garbage(monkeypatch, caplog):
+    monkeypatch.setenv("REPRO_MAX_ATTEMPTS", "lots")
+    monkeypatch.setenv("REPRO_JOB_TIMEOUT", "soon")
+    with caplog.at_level(logging.WARNING, logger="repro.runner.resilience"):
+        p = RetryPolicy.from_env()
+    assert p.max_attempts == RetryPolicy.max_attempts
+    assert p.timeout is None
+    assert len([r for r in caplog.records if "ignoring" in r.message]) == 2
+
+
+# ------------------------------------------------------------------ RunReport
+
+
+def test_run_report_merge_and_dict_round_trip():
+    a = RunReport(jobs=2, attempts=3, retries=1, job_seconds=[0.1, 0.2])
+    b = RunReport(jobs=1, attempts=1, pool_respawns=1, wall_seconds=1.5,
+                  job_seconds=[0.3])
+    a.merge(b)
+    assert (a.jobs, a.attempts, a.retries, a.pool_respawns) == (3, 4, 1, 1)
+    assert a.job_seconds == [0.1, 0.2, 0.3]
+    d = a.as_dict()
+    assert d["jobs"] == 3
+    assert d["job_seconds_max"] == pytest.approx(0.3)
+    assert a.eventful  # retries + respawns fired
+    assert not RunReport(jobs=5, attempts=5).eventful
+    assert "1 retries" in a.describe()
+
+
+def test_report_absorbs_worker_stats():
+    r = RunReport()
+    r.absorb_worker_stats(None)
+    r.absorb_worker_stats({})
+    r.absorb_worker_stats({"cache_fallbacks": 2})
+    assert r.cache_fallbacks == 2
+
+
+# ------------------------------------------------------------------ lifecycle
+
+
+def test_keyboard_interrupt_cleans_up_and_runner_recovers(
+    monkeypatch, sim_jobs
+):
+    """Ctrl-C mid-batch must propagate promptly, kill the pool rather
+    than leaking workers, and leave the runner usable afterwards."""
+    calls = {"n": 0}
+    original = SupervisedExecutor._wait_for_events
+
+    def interrupt_once(self, st, timeout):
+        if calls["n"] == 0:
+            calls["n"] += 1
+            raise KeyboardInterrupt
+        return original(self, st, timeout)
+
+    monkeypatch.setattr(SupervisedExecutor, "_wait_for_events", interrupt_once)
+    runner = BatchRunner(workers=2, trace_store=False)
+    try:
+        with pytest.raises(KeyboardInterrupt):
+            runner.run(sim_jobs)
+        # The supervisor (and its pool) was torn down on the way out...
+        assert runner._supervisor is None
+        # ...and a fresh run still works (jobs are idempotent).
+        results = runner.run(sim_jobs)
+        assert [r.mapping for r in results] == [j.mapping for j in sim_jobs]
+    finally:
+        runner.close()
+
+
+def test_close_is_idempotent_and_del_safe(sim_jobs):
+    runner = BatchRunner(workers=2, trace_store=False)
+    runner.run(sim_jobs)
+    runner.close()
+    runner.close()  # double close must be a no-op
+    runner.__del__()  # and explicit finalization after close too
+    assert runner._supervisor is None
+
+
+def test_supervised_executor_close_idempotent():
+    ex = SupervisedExecutor(
+        pool_factory=lambda: (_ for _ in ()).throw(AssertionError),
+        worker_fn=None,
+        inline_fn=None,
+    )
+    assert ex.run([]) == []  # empty batch never builds a pool
+    ex.close()
+    ex.close(kill=True)
+
+
+def test_resolve_workers_logs_invalid_env(monkeypatch, caplog):
+    monkeypatch.setenv("REPRO_WORKERS", "many")
+    with caplog.at_level(logging.WARNING, logger="repro.runner.batch"):
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            resolve_workers()
+    assert any("invalid REPRO_WORKERS" in r.message for r in caplog.records)

@@ -36,6 +36,47 @@ def test_garbage_cache_file_recomputes(tmp_path, sim_job):
     assert cache.get(sim_job) is None
 
 
+def test_corrupt_entry_counts_fallback_and_logs(tmp_path, sim_job, caplog):
+    """A corrupt entry is a miss AND a counted corrupt fallback with a
+    warning naming what was swallowed; a plain absent entry is neither."""
+    import logging
+
+    cache = ResultCache(tmp_path)
+    assert cache.get(sim_job) is None  # absent: plain miss
+    assert cache.corrupt_fallbacks == 0
+    cache.put(sim_job, sim_job.execute())
+    _cached_path(tmp_path, sim_job).write_text("ceci n'est pas du json")
+    with caplog.at_level(logging.WARNING, logger="repro.runner.cache"):
+        assert cache.get(sim_job) is None
+    assert cache.corrupt_fallbacks == 1
+    assert cache.misses == 2
+    assert any("corrupt cache entry" in r.message for r in caplog.records)
+
+
+def test_corrupt_cache_entry_helper_damages_entry(tmp_path, sim_job):
+    """The fault harness's parent-side helper produces entries the cache
+    treats as corrupt, for both damage modes."""
+    import pytest
+
+    from repro.runner.faults import corrupt_cache_entry
+
+    cache = ResultCache(tmp_path)
+    with pytest.raises(FileNotFoundError):
+        corrupt_cache_entry(cache, sim_job)
+    result = sim_job.execute()
+    for mode in ("truncate", "garbage"):
+        cache.put(sim_job, result)
+        assert cache.get(sim_job) == result
+        before = cache.corrupt_fallbacks
+        path = corrupt_cache_entry(cache, sim_job, mode=mode)
+        assert path == _cached_path(tmp_path, sim_job)
+        assert cache.get(sim_job) is None
+        assert cache.corrupt_fallbacks == before + 1
+    with pytest.raises(ValueError):
+        cache.put(sim_job, result)
+        corrupt_cache_entry(cache, sim_job, mode="arson")
+
+
 def test_valid_json_with_missing_fields_is_a_miss(tmp_path, sim_job):
     cache = ResultCache(tmp_path)
     cache.put(sim_job, sim_job.execute())
