@@ -302,6 +302,7 @@ class BatchRunner:
                 inline_fn=self._execute_inline,
                 policy=self.policy,
                 report=self.report,
+                max_inflight=self.workers,
             )
         try:
             return self._supervisor.run(jobs)

@@ -102,6 +102,26 @@ def load_fault_plan(env: Optional[str] = None) -> List[FaultRule]:
     return [FaultRule.from_dict(r) for r in json.loads(raw)]
 
 
+#: Parsed-plan cache keyed on the raw env value. maybe_inject_fault sits
+#: on the production worker entry point and runs once per job execution,
+#: so the plan is parsed (and an ``@file`` read from disk) once per
+#: worker process, not per job — re-reading per job is both a per-job
+#: cost and a stale-read hazard if the file changes mid-sweep.
+_plan_cache: Tuple[Optional[str], Tuple[FaultRule, ...]] = (None, ())
+
+
+def _active_plan() -> Tuple[FaultRule, ...]:
+    global _plan_cache
+    raw = os.environ.get(ENV_FAULT_PLAN)
+    if not raw:
+        return ()
+    key, rules = _plan_cache
+    if key != raw:
+        rules = tuple(load_fault_plan(raw))
+        _plan_cache = (raw, rules)
+    return rules
+
+
 def _claim_execution(state_dir: str, rule_index: int) -> int:
     """Atomically claim this execution's 1-based ordinal for one rule.
 
@@ -126,11 +146,12 @@ def maybe_inject_fault(job) -> None:
     """Fire the first matching due fault for ``job``, if any.
 
     Called at the top of the worker-side execution path; a no-op unless
-    ``REPRO_FAULT_PLAN`` is set. ``REPRO_FAULT_STATE`` must name a
-    directory when a plan is active — failing loudly beats a chaos suite
-    that silently injects nothing.
+    ``REPRO_FAULT_PLAN`` is set (the parsed plan is cached per process,
+    keyed on the env value). ``REPRO_FAULT_STATE`` must name a directory
+    when a plan is active — failing loudly beats a chaos suite that
+    silently injects nothing.
     """
-    plan = load_fault_plan()
+    plan = _active_plan()
     if not plan:
         return
     state_dir = os.environ.get(ENV_FAULT_STATE)

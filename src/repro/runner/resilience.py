@@ -7,12 +7,16 @@ it forever, and there was no retry story at all. This module replaces
 that dispatch with a :class:`SupervisedExecutor` that submits jobs
 individually and tracks each future:
 
-* **per-job timeouts** — every submission gets a deadline from its
-  :class:`RetryPolicy` (heavy jobs — screen ladders, continuation
-  bundles — get a proportionally larger budget). A hung worker cannot be
-  cancelled, so an expired deadline kills the pool's processes outright
-  and resubmits the surviving in-flight jobs; the timed-out job retries
-  against its bounded attempt count.
+* **per-job timeouts** — submissions are capped at the pool's worker
+  count, so a job's deadline (assigned at submission, from its
+  :class:`RetryPolicy`; heavy jobs — screen ladders, continuation
+  bundles — get a proportionally larger budget) starts when the job
+  actually starts running, not when the batch was enqueued: queued jobs
+  cannot burn their wall-clock budget waiting for a worker. A hung
+  worker cannot be cancelled, so an expired deadline kills the pool's
+  processes outright and resubmits the surviving in-flight jobs; the
+  timed-out job retries against its bounded attempt count, and the kill
+  counts against the pool-respawn budget like any other break.
 * **retry with exponential backoff** — failed or timed-out jobs are
   re-submitted after ``backoff_base * backoff_factor**(attempt-1)``
   seconds. Retries are free and safe because every job is a pure
@@ -21,13 +25,16 @@ individually and tracks each future:
   bit-identical to the first.
 * **pool self-healing** — a broken pool (worker killed, ``os._exit``,
   unpicklable crash) is respawned instead of propagating
-  ``BrokenProcessPool``; jobs that were in flight resubmit with no
-  attempt penalty (the breakage is the pool's fault, not theirs).
+  ``BrokenProcessPool``; in-flight jobs that never completed resubmit
+  with no attempt penalty (the breakage is the pool's fault, not
+  theirs), while one that already finished with a real job exception
+  is charged the failed attempt like any other failure.
 * **graceful degradation** — when the pool breaks more than
-  ``max_pool_respawns`` times within one batch, the remaining jobs
-  drain *inline* in the parent (the ``workers<=1`` path), so a hostile
-  environment degrades a sweep to sequential speed instead of killing
-  it.
+  ``max_pool_respawns`` times within one batch (deadline-triggered
+  kills included), the remaining jobs drain *inline* in the parent
+  under the same retry budget and :class:`JobError` contract, so a
+  hostile environment degrades a sweep to sequential speed instead of
+  killing it.
 
 Results keep the BatchRunner ordering contract — ``results[i]`` is the
 outcome of ``jobs[i]`` — and are bit-identical to the old ``pool.map``
@@ -107,10 +114,12 @@ class RetryPolicy:
         Retry ``n`` waits ``backoff_base * backoff_factor**(n-1)``
         seconds (clamped to ``backoff_max``) before resubmitting.
     timeout:
-        Per-job wall-clock budget in seconds; ``None`` disables deadline
-        tracking (a hung worker then blocks forever, as the old
-        ``pool.map`` path did). Heavy jobs (``job.heavy`` — whole screen
-        ladders, continuation bundles) get ``timeout *
+        Per-job wall-clock budget in seconds, measured from submission
+        — which coincides with the job starting, because the executor
+        caps in-flight submissions at the worker count. ``None``
+        disables deadline tracking (a hung worker then blocks forever,
+        as the old ``pool.map`` path did). Heavy jobs (``job.heavy`` —
+        whole screen ladders, continuation bundles) get ``timeout *
         heavy_timeout_factor``.
     max_pool_respawns:
         Pool breakages tolerated within one batch before the executor
@@ -271,6 +280,11 @@ class SupervisedExecutor:
     submitted per job and must return ``(result, stats_dict)``;
     ``inline_fn`` executes a job in the parent with the same return
     contract (the degraded path, which never touches the pool).
+
+    ``max_inflight`` caps concurrent submissions so jobs are handed to
+    the pool only when a worker can take them — a queued-but-unstarted
+    job must not burn its wall-clock budget waiting behind a long batch.
+    ``None`` (the default) reads the cap off the pool's ``_max_workers``.
     """
 
     def __init__(
@@ -280,12 +294,14 @@ class SupervisedExecutor:
         inline_fn: Callable,
         policy: Optional[RetryPolicy] = None,
         report: Optional[RunReport] = None,
+        max_inflight: Optional[int] = None,
     ) -> None:
         self._pool_factory = pool_factory
         self._worker_fn = worker_fn
         self._inline_fn = inline_fn
         self.policy = policy if policy is not None else RetryPolicy()
         self.report = report if report is not None else RunReport()
+        self._max_inflight = max_inflight
         self._pool = None
         self._inline_only = False
 
@@ -370,9 +386,19 @@ class SupervisedExecutor:
 
     def _submit_queued(self, jobs: List, st: _BatchState) -> None:
         while st.queue and not self._inline_only:
+            pool = self.pool()
+            # Submit only what the workers can start right now: an
+            # eagerly-enqueued job would begin burning its wall-clock
+            # budget (deadlines start at submission) while still waiting
+            # for a worker, turning queue wait into spurious timeouts.
+            cap = self._max_inflight
+            if cap is None:
+                cap = getattr(pool, "_max_workers", None)
+            if cap is not None and len(st.inflight) >= max(1, cap):
+                return
             i, attempt = st.queue[0]
             try:
-                fut = self.pool().submit(self._worker_fn, jobs[i])
+                fut = pool.submit(self._worker_fn, jobs[i])
             except BrokenExecutor:
                 self._recover_pool_break(jobs, st)
                 continue
@@ -457,25 +483,36 @@ class SupervisedExecutor:
             (time.monotonic() + delay, next(st.seq), fl.index, fl.attempt + 1),
         )
 
-    def _salvage_inflight(self, st: _BatchState) -> None:
+    def _salvage_inflight(self, jobs: List, st: _BatchState) -> None:
         """The pool is about to be torn down: keep results that beat the
-        failure, requeue everything else with no attempt penalty."""
+        failure, charge completed failures their attempt, and requeue
+        futures that never finished with no attempt penalty (the
+        breakage is the pool's fault, not theirs)."""
         for fut, fl in list(st.inflight.items()):
-            salvaged = False
-            if fut.done():
-                try:
-                    value = fut.result()
-                except Exception:
-                    pass
-                else:
-                    self._record_success(st, fl, value)
-                    salvaged = True
-            if not salvaged and not st.done[fl.index]:
+            if st.done[fl.index]:
+                continue
+            if not fut.done() or fut.cancelled():
                 st.queue.append((fl.index, fl.attempt))
+                continue
+            try:
+                value = fut.result()
+            except BrokenExecutor:
+                # The pool died under the job: not the job's failure.
+                st.queue.append((fl.index, fl.attempt))
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as exc:
+                # The job genuinely failed before the pool went down:
+                # count the attempt (and propagate exhaustion) exactly
+                # like a harvest-time failure — a deterministic failure
+                # must not dodge max_attempts by riding pool breaks.
+                self._record_failure(jobs, st, fl, exc)
+            else:
+                self._record_success(st, fl, value)
         st.inflight.clear()
 
     def _recover_pool_break(self, jobs: List, st: _BatchState) -> None:
-        self._salvage_inflight(st)
+        self._salvage_inflight(jobs, st)
         self._shutdown_pool(kill=True)
         st.pool_breaks += 1
         if st.pool_breaks > self.policy.max_pool_respawns:
@@ -508,8 +545,16 @@ class SupervisedExecutor:
         ]
         if not expired:
             return
+        hung = False
         for fut, fl in expired:
             st.inflight.pop(fut)
+            if fut.cancel():
+                # Never started: the budget burned in the executor queue
+                # (possible transiently around a pool respawn), not in
+                # the job. Requeue with no penalty, no pool kill.
+                st.queue.append((fl.index, fl.attempt))
+                continue
+            hung = True
             self.report.timeouts += 1
             budget = self.policy.timeout_for(jobs[fl.index])
             if fl.attempt >= self.policy.max_attempts:
@@ -533,24 +578,68 @@ class SupervisedExecutor:
                 st.retries,
                 (now + delay, next(st.seq), fl.index, fl.attempt + 1),
             )
-        # A running future cannot be cancelled: reclaim the hung worker by
-        # killing the whole pool, then resubmit the innocent bystanders.
-        self._salvage_inflight(st)
-        self._shutdown_pool(kill=True)
-        self.report.pool_respawns += 1
+        if not hung:
+            return
+        # A running future cannot be cancelled: reclaim the hung worker
+        # by killing the whole pool. The kill goes through the shared
+        # recovery path so it salvages the innocent bystanders AND
+        # counts against the respawn budget — an environment that hangs
+        # repeatedly must degrade to inline like one that crashes
+        # repeatedly.
+        self._recover_pool_break(jobs, st)
 
     def _drain_inline(self, jobs: List, st: _BatchState) -> None:
+        """Degraded path: run the unfinished jobs in the parent under the
+        same retry budget and :class:`JobError` failure contract as the
+        supervised pool path (only deadlines are gone — an inline job
+        cannot be reclaimed)."""
+        # Carry each job's attempt count over so the total budget stays
+        # bounded by max_attempts across both execution paths.
+        attempts = {i: a for i, a in st.queue}
+        for _, _, i, a in st.retries:
+            attempts[i] = max(attempts.get(i, a), a)
         st.queue.clear()
         st.retries.clear()
         for i, job in enumerate(jobs):
             if st.done[i]:
                 continue
-            t0 = time.monotonic()
-            result, stats = self._inline_fn(job)
-            st.results[i] = result
-            st.done[i] = True
-            st.remaining -= 1
-            self.report.attempts += 1
             self.report.inline_fallbacks += 1
-            self.report.job_seconds.append(time.monotonic() - t0)
-            self.report.absorb_worker_stats(stats)
+            attempt = attempts.get(i, 1)
+            while True:
+                t0 = time.monotonic()
+                self.report.attempts += 1
+                if attempt > 1:
+                    self.report.retries += 1
+                try:
+                    result, stats = self._inline_fn(job)
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except BaseException as exc:
+                    if attempt >= self.policy.max_attempts:
+                        self.report.failures += 1
+                        raise JobError(
+                            f"job {i} failed inline after {attempt} "
+                            f"attempts: {exc!r}",
+                            job=job,
+                            attempts=attempt,
+                        ) from exc
+                    delay = self.policy.backoff_for(attempt)
+                    logger.warning(
+                        "job %d attempt %d failed inline (%s: %s); "
+                        "retrying in %.2fs",
+                        i,
+                        attempt,
+                        type(exc).__name__,
+                        exc,
+                        delay,
+                    )
+                    if delay > 0:
+                        time.sleep(delay)
+                    attempt += 1
+                    continue
+                st.results[i] = result
+                st.done[i] = True
+                st.remaining -= 1
+                self.report.job_seconds.append(time.monotonic() - t0)
+                self.report.absorb_worker_stats(stats)
+                break

@@ -177,6 +177,91 @@ def test_corrupted_cache_entry_recomputes_in_pool(tmp_path, reference_results):
     assert ResultCache(cache_dir).get(JOBS[2]) == reference_results[2]
 
 
+def test_repeated_hangs_degrade_to_inline(fault_env, reference_results):
+    """Deadline-triggered pool kills count against the respawn budget,
+    so an environment that hangs repeatedly degrades to inline execution
+    exactly like one that crashes repeatedly."""
+    arm = fault_env
+    arm([
+        {"match": "", "op": "hang", "executions": [1, 2, 3, 4, 5, 6, 7, 8],
+         "hang_seconds": 60.0},
+    ])
+    policy = RetryPolicy(
+        max_attempts=5, backoff_base=0.05, backoff_max=0.2, timeout=1.5,
+        max_pool_respawns=0,
+    )
+    results, report = _chaos_run(policy=policy)
+    assert results == reference_results
+    assert report.timeouts >= 1
+    # Budget 0: the first hang-induced kill already degrades the batch.
+    assert report.inline_fallbacks >= 1
+    assert report.failures == 0
+
+
+def test_queued_jobs_do_not_burn_their_timeout_budget(fault_env):
+    """Per-job deadlines start when the job starts running: with many
+    more jobs than workers and per-job runtimes near the budget, queue
+    wait must not surface as spurious timeouts (which would kill the
+    pool under the feet of healthy jobs)."""
+    arm = fault_env
+    # Every execution sleeps 0.7s inside the worker: 6 jobs on 2 workers
+    # means the batch tail waits ~2s for a slot — spurious timeouts if
+    # the 2s budget started at enqueue time instead of start time.
+    arm([
+        {"match": "", "op": "hang", "executions": list(range(1, 13)),
+         "hang_seconds": 0.7},
+    ])
+    jobs = [
+        SimJob("M8", ("gzip", "twolf"), (0, 0), 400, seed=200 + i)
+        for i in range(6)
+    ]
+    with BatchRunner(workers=1, trace_store=False) as runner:
+        expected = runner.run(jobs)
+    policy = RetryPolicy(
+        max_attempts=3, backoff_base=0.05, backoff_max=0.2, timeout=2.0
+    )
+    with BatchRunner(workers=2, trace_store=False, policy=policy) as runner:
+        results = runner.run(jobs)
+        report = runner.report
+    assert results == expected
+    assert report.timeouts == 0
+    assert report.pool_respawns == 0
+    assert report.failures == 0
+
+
+def test_fault_plan_parsed_once_per_env_value(monkeypatch, tmp_path):
+    """maybe_inject_fault sits on the production worker entry point: the
+    plan must be parsed once per process per env value, not per job."""
+    import repro.runner.faults as faults
+
+    monkeypatch.setattr(faults, "_plan_cache", (None, ()))
+    calls = {"n": 0}
+    real = faults.load_fault_plan
+
+    def counting(env=None):
+        calls["n"] += 1
+        return real(env)
+
+    monkeypatch.setattr(faults, "load_fault_plan", counting)
+    monkeypatch.setenv("REPRO_FAULT_STATE", str(tmp_path / "state"))
+    monkeypatch.setenv(
+        "REPRO_FAULT_PLAN",
+        json.dumps([{"match": "no-such-job", "op": "raise"}]),
+    )
+    faults.maybe_inject_fault(JOBS[0])
+    faults.maybe_inject_fault(JOBS[0])
+    faults.maybe_inject_fault(JOBS[1])
+    assert calls["n"] == 1
+    # A changed plan value is picked up (reparsed exactly once).
+    monkeypatch.setenv(
+        "REPRO_FAULT_PLAN",
+        json.dumps([{"match": "still-no-such-job", "op": "raise"}]),
+    )
+    faults.maybe_inject_fault(JOBS[0])
+    faults.maybe_inject_fault(JOBS[0])
+    assert calls["n"] == 2
+
+
 # ------------------------------------------------------- acceptance scenario
 
 

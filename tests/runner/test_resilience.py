@@ -1,7 +1,10 @@
 """Supervised dispatch: equivalence with the legacy pool.map path,
-policy/report plumbing, Ctrl-C behaviour, lifecycle hygiene."""
+policy/report plumbing, submission/deadline/salvage semantics, Ctrl-C
+behaviour, lifecycle hygiene."""
 
 import logging
+import time
+from concurrent.futures import BrokenExecutor, Future
 
 import pytest
 
@@ -13,7 +16,7 @@ from repro.runner import (
     SupervisedExecutor,
 )
 from repro.runner.batch import resolve_workers
-from repro.runner.resilience import JobError
+from repro.runner.resilience import JobError, _BatchState, _Flight
 
 
 # ---------------------------------------------------------------- equivalence
@@ -112,6 +115,194 @@ def test_policy_from_env_ignores_garbage(monkeypatch, caplog):
     assert p.max_attempts == RetryPolicy.max_attempts
     assert p.timeout is None
     assert len([r for r in caplog.records if "ignoring" in r.message]) == 2
+
+
+# ------------------------------------------------- supervision internals
+
+
+class _StubPool:
+    """Pool stand-in whose submit() never runs anything, so the inflight
+    set is exactly what the supervisor chose to submit."""
+
+    def __init__(self, max_workers=2):
+        self._max_workers = max_workers
+        self.submitted = []
+
+    def submit(self, fn, *args):
+        fut = Future()
+        self.submitted.append(fut)
+        return fut
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
+
+def _stub_executor(policy=None, max_workers=2, **kw):
+    pool = _StubPool(max_workers)
+    ex = SupervisedExecutor(
+        pool_factory=lambda: pool,
+        worker_fn=lambda job: (job, None),
+        inline_fn=lambda job: (job, None),
+        policy=policy or RetryPolicy(backoff_base=0.0),
+        **kw,
+    )
+    return ex, pool
+
+
+def test_submissions_capped_at_worker_count():
+    """Jobs are handed to the pool only when a worker can take them, so
+    a per-job deadline (assigned at submission) starts when the job
+    starts running — queued jobs must not burn their wall-clock budget
+    waiting behind a long batch."""
+    ex, pool = _stub_executor(max_workers=2)
+    jobs = list(range(6))
+    st = _BatchState(len(jobs))
+    ex._submit_queued(jobs, st)
+    assert len(st.inflight) == 2  # capped at pool._max_workers
+    assert len(st.queue) == 4
+    # A completed future frees a slot; the refill tops back up to the cap.
+    fut = pool.submitted[0]
+    fut.set_result((0, None))
+    assert not ex._harvest({fut}, jobs, st)
+    ex._submit_queued(jobs, st)
+    assert len(st.inflight) == 2
+    assert len(st.queue) == 3
+    assert ex.report.attempts == 3
+
+
+def test_explicit_max_inflight_overrides_pool_size():
+    ex, _pool = _stub_executor(max_workers=4, max_inflight=1)
+    st = _BatchState(3)
+    ex._submit_queued(list(range(3)), st)
+    assert len(st.inflight) == 1
+
+
+def test_expired_unstarted_future_is_cancelled_without_penalty():
+    """A deadline that elapses while the future is still pending (e.g.
+    transiently around a pool respawn) cancels the future and requeues
+    the job: no timeout charged, no attempt burned, no pool kill."""
+    ex, pool = _stub_executor(policy=RetryPolicy(timeout=5.0))
+    jobs = ["j0"]
+    st = _BatchState(1)
+    ex._submit_queued(jobs, st)
+    (fut,) = pool.submitted
+    st.inflight[fut].deadline = time.monotonic() - 1.0  # already expired
+    ex._check_deadlines(jobs, st)
+    assert fut.cancelled()
+    assert list(st.queue) == [(0, 1)]  # same attempt, back in line
+    assert ex.report.timeouts == 0
+    assert ex.report.pool_respawns == 0
+    assert ex._pool is pool  # the healthy pool survived
+
+
+def test_salvage_charges_completed_failures_their_attempt():
+    """A future that finished with a real job exception before the pool
+    went down counts the attempt (a deterministic failure must not dodge
+    max_attempts by riding pool breaks); only never-completed futures
+    requeue penalty-free."""
+    policy = RetryPolicy(max_attempts=3, backoff_base=0.0)
+    ex, _pool = _stub_executor(policy=policy)
+    jobs = ["a", "b", "c"]
+    st = _BatchState(3)
+    st.queue.clear()
+    failed = Future()
+    failed.set_exception(ValueError("boom"))
+    pending = Future()
+    pool_fault = Future()
+    pool_fault.set_exception(BrokenExecutor("pool died"))
+    st.inflight[failed] = _Flight(0, 1, time.monotonic(), None)
+    st.inflight[pending] = _Flight(1, 2, time.monotonic(), None)
+    st.inflight[pool_fault] = _Flight(2, 2, time.monotonic(), None)
+    ex._salvage_inflight(jobs, st)
+    assert not st.inflight
+    # Job 0 failed for real: charged, waiting in the retry heap at
+    # attempt 2. Jobs 1 and 2 never completed / died with the pool:
+    # requeued at their old attempt numbers.
+    assert [(i, a) for _, _, i, a in sorted(st.retries)] == [(0, 2)]
+    assert sorted(st.queue) == [(1, 2), (2, 2)]
+
+
+def test_salvage_propagates_exhausted_attempts_as_job_error():
+    policy = RetryPolicy(max_attempts=2, backoff_base=0.0)
+    ex, _pool = _stub_executor(policy=policy)
+    st = _BatchState(1)
+    st.queue.clear()
+    failed = Future()
+    failed.set_exception(ValueError("permanent"))
+    st.inflight[failed] = _Flight(0, 2, time.monotonic(), None)
+    with pytest.raises(JobError) as exc_info:
+        ex._salvage_inflight(["the-job"], st)
+    assert exc_info.value.attempts == 2
+    assert exc_info.value.job == "the-job"
+    assert ex.report.failures == 1
+
+
+def test_inline_drain_retries_and_keeps_the_failure_contract():
+    """The degraded path honours the same retry budget and JobError
+    contract as the pool path."""
+    calls = {"n": 0}
+
+    def flaky(job):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise ValueError("transient")
+        return job * 10, None
+
+    ex = SupervisedExecutor(
+        pool_factory=lambda: _StubPool(),
+        worker_fn=None,
+        inline_fn=flaky,
+        policy=RetryPolicy(max_attempts=3, backoff_base=0.0),
+    )
+    st = _BatchState(2)
+    ex._drain_inline([1, 2], st)
+    assert st.results == [10, 20]
+    assert st.remaining == 0
+    assert ex.report.retries == 1
+    assert ex.report.failures == 0
+    assert ex.report.inline_fallbacks == 2  # per job, not per attempt
+    assert ex.report.attempts == 3
+
+
+def test_inline_drain_exhaustion_raises_job_error():
+    def always_fail(job):
+        raise ValueError("permanent")
+
+    ex = SupervisedExecutor(
+        pool_factory=lambda: _StubPool(),
+        worker_fn=None,
+        inline_fn=always_fail,
+        policy=RetryPolicy(max_attempts=2, backoff_base=0.0),
+    )
+    st = _BatchState(1)
+    with pytest.raises(JobError) as exc_info:
+        ex._drain_inline([7], st)
+    assert exc_info.value.attempts == 2
+    assert exc_info.value.job == 7
+    assert ex.report.failures == 1
+    assert ex.report.attempts == 2
+
+
+def test_inline_drain_carries_prior_attempts_into_the_budget():
+    """A job that already burned pool attempts keeps its count inline:
+    the total budget is max_attempts across both paths."""
+
+    def always_fail(job):
+        raise ValueError("permanent")
+
+    ex = SupervisedExecutor(
+        pool_factory=lambda: _StubPool(),
+        worker_fn=None,
+        inline_fn=always_fail,
+        policy=RetryPolicy(max_attempts=3, backoff_base=0.0),
+    )
+    st = _BatchState(1)
+    st.queue.clear()
+    st.queue.append((0, 3))  # two pool attempts already failed
+    with pytest.raises(JobError) as exc_info:
+        ex._drain_inline(["j"], st)
+    assert exc_info.value.attempts == 3
+    assert ex.report.attempts == 1  # only the one inline execution
 
 
 # ------------------------------------------------------------------ RunReport
