@@ -15,6 +15,10 @@
 #   make chaos    fault-injection suite against a real 2-worker pool
 #                 (worker deaths, hangs, corrupt cache entries; the CI
 #                 chaos lane)
+#   make chaos-remote  distributed chaos lane: real `repro worker`
+#                 processes under REPRO_FAULT_PLAN (worker death, hangs
+#                 past lease expiry, stale-lease takeover), asserting
+#                 bit-identical output + an eventful run report
 #   make ci       what the GitHub Actions workflow runs: tier-1 suite +
 #                 a smoke `figures` sweep (tiny scale, 2 workers)
 #
@@ -26,7 +30,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test cov bench bench-throughput figures ci lint perf-gate chaos
+.PHONY: test cov bench bench-throughput figures ci lint perf-gate chaos \
+	chaos-remote
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -34,6 +39,12 @@ test:
 chaos:
 	REPRO_WORKERS=2 $(PYTHON) -m pytest -x -q \
 		tests/runner/test_faults.py tests/runner/test_resilience.py
+
+chaos-remote:
+	$(PYTHON) -m pytest -x -q \
+		tests/runner/test_distributed_queue.py \
+		tests/runner/test_distributed.py \
+		tests/runner/test_distributed_chaos.py
 
 lint:
 	ruff check src tests benchmarks

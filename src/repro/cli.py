@@ -14,13 +14,20 @@ figures
     (writes the same artifacts as the benchmark harness).
 workloads
     List the paper's workload tables.
+worker
+    Serve a distributed job queue: claim leased tasks, execute them
+    against the shared result cache, publish results
+    (see :mod:`repro.runner.distributed`). Pair with
+    ``figures --queue DIR`` or ``REPRO_DIST_QUEUE``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from dataclasses import replace
+from pathlib import Path
 from typing import List, Optional
 
 from repro.area.model import area_report, config_area
@@ -102,7 +109,9 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         policy = replace(policy, timeout=args.job_timeout)
     if args.max_attempts is not None:
         policy = replace(policy, max_attempts=max(1, args.max_attempts))
-    with BatchRunner(workers=args.jobs, policy=policy) as runner:
+    with BatchRunner(
+        workers=args.jobs, policy=policy, queue_dir=args.queue
+    ) as runner:
         results = run_performance_experiment(
             workload_names=workloads,
             scale=scale,
@@ -120,7 +129,19 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     print(summary_report(headline_summary(results)))
     if not args.quiet and report.jobs:
         print(f"\nrun report: {report.describe()}")
+    if args.report_json:
+        path = Path(args.report_json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report.as_dict(), indent=2) + "\n")
+        if not args.quiet:
+            print(f"run report written to {path}")
     return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.runner.distributed import run_worker
+
+    return run_worker(args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -197,7 +218,73 @@ def build_parser() -> argparse.ArgumentParser:
         "is the exact screen, whose per-candidate jobs are bundled "
         "into at most --bundles worker jobs)",
     )
+    p_fig.add_argument(
+        "--queue",
+        default=None,
+        help="distributed job-queue directory (default: REPRO_DIST_QUEUE; "
+        "unset = local execution) — parallel batches are served by "
+        "`repro worker --queue DIR` processes watching the same "
+        "directory, degrading to the local pool when none shows up",
+    )
+    p_fig.add_argument(
+        "--report-json",
+        metavar="PATH",
+        default=None,
+        help="write the final RunReport (jobs, retries, lease reclaims, "
+        "speculative re-dispatches, ...) as JSON to PATH",
+    )
     p_fig.set_defaults(func=_cmd_figures)
+
+    p_wrk = sub.add_parser(
+        "worker",
+        help="serve a distributed job queue (repro worker --queue DIR)",
+    )
+    p_wrk.add_argument("--queue", required=True, help="shared queue directory")
+    p_wrk.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable identity for leases/heartbeats (default: w<pid>)",
+    )
+    p_wrk.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=10.0,
+        help="lease lifetime in seconds; a worker that stops renewing "
+        "for this long forfeits its task (default: 10)",
+    )
+    p_wrk.add_argument(
+        "--heartbeat",
+        type=float,
+        default=None,
+        help="lease/heartbeat renewal interval (default: lease-ttl / 3)",
+    )
+    p_wrk.add_argument(
+        "--cache",
+        default=None,
+        help="result-cache directory (default: the queue's config.json, "
+        "published by the front end)",
+    )
+    p_wrk.add_argument(
+        "--store",
+        default=None,
+        help="packed-trace / warm-snapshot store directory (default: the "
+        "queue's config.json)",
+    )
+    p_wrk.add_argument(
+        "--max-tasks",
+        type=int,
+        default=None,
+        help="exit after executing this many tasks (default: serve "
+        "until a stop marker appears)",
+    )
+    p_wrk.add_argument(
+        "--idle-exit",
+        type=float,
+        default=None,
+        help="exit after this many seconds without claimable work "
+        "(default: keep polling)",
+    )
+    p_wrk.set_defaults(func=_cmd_worker)
 
     return parser
 

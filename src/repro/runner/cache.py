@@ -72,7 +72,18 @@ def sim_result_restore(payload: dict) -> SimResult:
 
 
 class ResultCache:
-    """Directory-backed result store, keyed by job content hash."""
+    """Directory-backed result store, keyed by job content hash.
+
+    Entries are sharded into 256 subdirectories by the first two hex
+    characters of the key (``<dir>/ab/abcdef....json``): a cache shared
+    by a worker fleet accumulates tens of thousands of entries, and one
+    flat directory makes every ``O_CREAT``/rename/listdir pay a
+    linear-scan tax on filesystems without indexed directories.  Reads
+    are transparent across layouts — a pre-sharding flat entry still
+    hits, and is migrated into its shard on first touch (plus a one-time
+    bulk migration at construction), so existing caches upgrade in place
+    with zero recomputes.
+    """
 
     def __init__(self, directory: str | os.PathLike) -> None:
         self.directory = Path(directory)
@@ -83,6 +94,26 @@ class ResultCache:
         #: as opposed to a plain absent one — the second line of defense
         #: behind atomic writes, surfaced in the runner's RunReport.
         self.corrupt_fallbacks = 0
+        self._migrate_flat_layout()
+
+    def _migrate_flat_layout(self) -> None:
+        """Move any flat-layout (pre-sharding) entries into their shards.
+
+        ``os.replace`` is atomic and last-writer-wins, and both layouts'
+        writers produce identical bytes for a given key, so racing
+        migrators/writers are harmless.  A concurrently-vanished file
+        (another migrator won) is skipped.
+        """
+        for path in self.directory.glob("*.json"):
+            key = path.stem
+            if len(key) != 64:
+                continue  # not one of ours; leave it alone
+            shard = self.directory / key[:2]
+            shard.mkdir(exist_ok=True)
+            try:
+                os.replace(path, shard / path.name)
+            except FileNotFoundError:
+                continue
 
     # -- keying ------------------------------------------------------------
 
@@ -108,6 +139,10 @@ class ResultCache:
         return sha256(desc.encode()).hexdigest()
 
     def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    def _flat_path(self, key: str) -> Path:
+        """Where the pre-sharding layout kept this key."""
         return self.directory / f"{key}.json"
 
     # -- access ------------------------------------------------------------
@@ -121,9 +156,18 @@ class ResultCache:
         but cannot be decoded additionally counts as a corrupt fallback
         (``corrupt_fallbacks``) and logs what was swallowed.
         """
-        path = self._path(self.job_key(job))
+        key = self.job_key(job)
+        path = self._path(key)
         try:
-            payload = json.loads(path.read_text())
+            try:
+                payload = json.loads(path.read_text())
+            except FileNotFoundError:
+                # Transparent flat-layout read: migrate the entry into
+                # its shard, then serve it from there.
+                flat = self._flat_path(key)
+                path.parent.mkdir(exist_ok=True)
+                os.replace(flat, path)
+                payload = json.loads(path.read_text())
             result = job.restore_result(payload)
         except FileNotFoundError:
             self.misses += 1
@@ -148,7 +192,9 @@ class ResultCache:
         """Store ``result`` under ``job``'s key (atomic write)."""
         payload = job.result_payload(result)
         path = self._path(self.job_key(job))
+        path.parent.mkdir(exist_ok=True)
         atomic_write_bytes(path, json.dumps(payload).encode())
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.directory.glob("*.json"))
+        flat = sum(1 for _ in self.directory.glob("*.json"))
+        return flat + sum(1 for _ in self.directory.glob("??/*.json"))

@@ -1,0 +1,29 @@
+"""Distributed, elastic sweep execution behind the runner Job protocol.
+
+The local half of fault tolerance (PR 6's supervised pool) assumed the
+workers live in this process tree.  This package removes that
+assumption: a crash-consistent filesystem
+:class:`~repro.runner.distributed.queue.JobQueue` is the only shared
+state, ``repro worker`` processes (:mod:`~repro.runner.distributed.
+worker`) pull job bundles from it anywhere the filesystem is visible,
+and a :class:`~repro.runner.distributed.executor.DistributedExecutor`
+front end inside :class:`~repro.runner.batch.BatchRunner` enqueues,
+watches, reclaims expired leases, speculatively re-dispatches
+stragglers, and degrades to the local supervised pool whenever the
+fleet disappoints.  Results are bit-identical to local execution by the
+same argument as always: every job is a pure function of its cache
+identity, so *where* it ran can never show in *what* it returned.
+"""
+
+from repro.runner.distributed.executor import DistributedExecutor
+from repro.runner.distributed.queue import JobQueue, Lease, base_task_id
+from repro.runner.distributed.worker import Worker, run_worker
+
+__all__ = [
+    "DistributedExecutor",
+    "JobQueue",
+    "Lease",
+    "Worker",
+    "base_task_id",
+    "run_worker",
+]

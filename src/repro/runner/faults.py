@@ -66,28 +66,45 @@ class InjectedFault(RuntimeError):
 @dataclass(frozen=True)
 class FaultRule:
     """One deterministic fault: fire ``op`` on the Nth execution(s) of a
-    job whose ``repr`` contains ``match``."""
+    job whose ``repr`` contains ``match``.
+
+    ``scope`` restricts where the rule applies: ``"pool"`` (local
+    process-pool workers), ``"worker"`` (remote ``repro worker``
+    processes), or ``"any"`` (both, the default).  Out-of-scope
+    executions neither fire nor consume ordinals, so one plan can
+    target the two execution contexts independently.  The
+    ``stale_lease`` op is remote-worker-only by construction (it
+    freezes lease renewal — local pool workers hold no lease) and is
+    returned to the caller to act on rather than raised/slept here.
+    """
 
     match: str
     op: str
     executions: Tuple[int, ...] = (1,)
     hang_seconds: float = 3600.0
     exit_code: int = 17
+    scope: str = "any"
 
-    _OPS = ("raise", "hang", "die")
+    _OPS = ("raise", "hang", "die", "stale_lease")
+    _SCOPES = ("any", "pool", "worker")
 
     def __post_init__(self) -> None:
         if self.op not in self._OPS:
             raise ValueError(f"unknown fault op {self.op!r} (want {self._OPS})")
+        if self.scope not in self._SCOPES:
+            raise ValueError(
+                f"unknown fault scope {self.scope!r} (want {self._SCOPES})"
+            )
 
     @classmethod
     def from_dict(cls, payload: dict) -> "FaultRule":
         return cls(
             match=str(payload.get("match", "")),
-            op=str(payload["op"]),
+            op=str(payload["op"]).replace("-", "_"),
             executions=tuple(int(n) for n in payload.get("executions", [1])),
             hang_seconds=float(payload.get("hang_seconds", 3600.0)),
             exit_code=int(payload.get("exit_code", 17)),
+            scope=str(payload.get("scope", "any")),
         )
 
 
@@ -142,18 +159,25 @@ def _claim_execution(state_dir: str, rule_index: int) -> int:
         return n
 
 
-def maybe_inject_fault(job) -> None:
+def maybe_inject_fault(job, context: str = "pool") -> Optional[FaultRule]:
     """Fire the first matching due fault for ``job``, if any.
 
-    Called at the top of the worker-side execution path; a no-op unless
-    ``REPRO_FAULT_PLAN`` is set (the parsed plan is cached per process,
-    keyed on the env value). ``REPRO_FAULT_STATE`` must name a directory
-    when a plan is active — failing loudly beats a chaos suite that
-    silently injects nothing.
+    Called at the top of the worker-side execution paths — ``context``
+    says which one: ``"pool"`` for local process-pool workers,
+    ``"worker"`` for remote ``repro worker`` processes.  Rules scoped to
+    the other context are skipped entirely (no ordinal consumed).  A
+    no-op unless ``REPRO_FAULT_PLAN`` is set (the parsed plan is cached
+    per process, keyed on the env value). ``REPRO_FAULT_STATE`` must
+    name a directory when a plan is active — failing loudly beats a
+    chaos suite that silently injects nothing.
+
+    ``raise``/``hang``/``die`` execute here; a due ``stale_lease`` rule
+    is *returned* for the remote worker to act on (freeze lease renewal
+    and stall), since only that caller owns a lease.
     """
     plan = _active_plan()
     if not plan:
-        return
+        return None
     state_dir = os.environ.get(ENV_FAULT_STATE)
     if not state_dir:
         raise RuntimeError(
@@ -164,6 +188,10 @@ def maybe_inject_fault(job) -> None:
     os.makedirs(state_dir, exist_ok=True)
     desc = repr(job)
     for rule_index, rule in enumerate(plan):
+        if rule.scope != "any" and rule.scope != context:
+            continue
+        if rule.op == "stale_lease" and context != "worker":
+            continue  # meaningless without a lease to go stale
         if rule.match and rule.match not in desc:
             continue
         ordinal = _claim_execution(state_dir, rule_index)
@@ -176,9 +204,12 @@ def maybe_inject_fault(job) -> None:
             )
         if rule.op == "hang":
             time.sleep(rule.hang_seconds)
-            return
+            return None
         if rule.op == "die":
             os._exit(rule.exit_code)
+        if rule.op == "stale_lease":
+            return rule
+    return None
 
 
 def corrupt_cache_entry(cache, job, mode: str = "truncate") -> Path:
@@ -190,7 +221,7 @@ def corrupt_cache_entry(cache, job, mode: str = "truncate") -> Path:
     it with non-JSON bytes. Returns the damaged path; raises
     ``FileNotFoundError`` when no entry exists to damage.
     """
-    path = cache.directory / f"{cache.job_key(job)}.json"
+    path = cache._path(cache.job_key(job))
     data = path.read_bytes()
     if mode == "truncate":
         path.write_bytes(data[: max(1, len(data) // 2)])

@@ -50,6 +50,7 @@ import heapq
 import itertools
 import logging
 import os
+import random
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, wait
@@ -113,6 +114,14 @@ class RetryPolicy:
     backoff_base / backoff_factor / backoff_max:
         Retry ``n`` waits ``backoff_base * backoff_factor**(n-1)``
         seconds (clamped to ``backoff_max``) before resubmitting.
+    jitter:
+        Fractional de-synchronization of the backoff schedule: each
+        delay is scaled by a uniform draw from ``1 ± jitter/2``, so a
+        whole bundle failed by one event does not retry in lockstep
+        (the thundering-herd fix; also spreads a distributed fleet's
+        post-failure re-claims).  ``0`` (the default) keeps delays
+        exact; deterministic when the caller seeds the RNG
+        (``REPRO_RETRY_JITTER_SEED``).
     timeout:
         Per-job wall-clock budget in seconds, measured from submission
         — which coincides with the job starting, because the executor
@@ -130,6 +139,7 @@ class RetryPolicy:
     backoff_base: float = 0.1
     backoff_factor: float = 2.0
     backoff_max: float = 5.0
+    jitter: float = 0.0
     timeout: Optional[float] = None
     heavy_timeout_factor: float = 4.0
     max_pool_respawns: int = 3
@@ -138,11 +148,13 @@ class RetryPolicy:
     def from_env(cls) -> "RetryPolicy":
         """Policy from the environment: ``REPRO_JOB_TIMEOUT`` (seconds,
         unset disables deadlines), ``REPRO_MAX_ATTEMPTS``,
-        ``REPRO_RETRY_BACKOFF`` (base seconds),
+        ``REPRO_RETRY_BACKOFF`` (base seconds), ``REPRO_RETRY_JITTER``
+        (fractional delay spread, e.g. ``0.5`` for ±25%),
         ``REPRO_MAX_POOL_RESPAWNS``."""
         return cls(
             max_attempts=max(1, _env_int("REPRO_MAX_ATTEMPTS", cls.max_attempts)),
             backoff_base=_env_float("REPRO_RETRY_BACKOFF", cls.backoff_base),
+            jitter=max(0.0, _env_float("REPRO_RETRY_JITTER", cls.jitter)),
             timeout=_env_float("REPRO_JOB_TIMEOUT", None),
             max_pool_respawns=max(
                 0, _env_int("REPRO_MAX_POOL_RESPAWNS", cls.max_pool_respawns)
@@ -157,10 +169,21 @@ class RetryPolicy:
             return self.timeout * self.heavy_timeout_factor
         return self.timeout
 
-    def backoff_for(self, attempt: int) -> float:
-        """Seconds to wait before retry number ``attempt`` (1-based)."""
+    def backoff_for(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """Seconds to wait before retry number ``attempt`` (1-based).
+
+        With a nonzero ``jitter`` the clamped delay is scaled by a
+        uniform draw from ``[1 - jitter/2, 1 + jitter/2]`` so concurrent
+        retries spread out instead of stampeding; pass a seeded ``rng``
+        for a deterministic schedule (tests), else the module RNG is
+        used.
+        """
         delay = self.backoff_base * self.backoff_factor ** max(0, attempt - 1)
-        return min(self.backoff_max, max(0.0, delay))
+        delay = min(self.backoff_max, max(0.0, delay))
+        if self.jitter > 0.0 and delay > 0.0:
+            draw = (rng if rng is not None else random).random()
+            delay *= 1.0 + self.jitter * (draw - 0.5)
+        return max(0.0, delay)
 
 
 @dataclass
@@ -182,6 +205,16 @@ class RunReport:
     pool_respawns: int = 0
     inline_fallbacks: int = 0
     cache_fallbacks: int = 0
+    #: -- distributed execution (see repro.runner.distributed) --------------
+    #: jobs durably enqueued onto a remote-worker queue
+    enqueued: int = 0
+    #: expired leases broken so a lost/hung worker's task became claimable
+    lease_reclaims: int = 0
+    #: speculative straggler twins dispatched (first result wins)
+    speculations: int = 0
+    #: batches (or batch remainders) degraded from the worker fleet to
+    #: the local supervised path (empty fleet, dark fleet, stall)
+    local_fallbacks: int = 0
     wall_seconds: float = 0.0
     job_seconds: List[float] = field(default_factory=list)
 
@@ -196,6 +229,9 @@ class RunReport:
             or self.pool_respawns
             or self.inline_fallbacks
             or self.cache_fallbacks
+            or self.lease_reclaims
+            or self.speculations
+            or self.local_fallbacks
         )
 
     def absorb_worker_stats(self, stats: Optional[Dict[str, int]]) -> None:
@@ -214,6 +250,10 @@ class RunReport:
         self.pool_respawns += other.pool_respawns
         self.inline_fallbacks += other.inline_fallbacks
         self.cache_fallbacks += other.cache_fallbacks
+        self.enqueued += other.enqueued
+        self.lease_reclaims += other.lease_reclaims
+        self.speculations += other.speculations
+        self.local_fallbacks += other.local_fallbacks
         self.wall_seconds += other.wall_seconds
         self.job_seconds.extend(other.job_seconds)
 
@@ -228,6 +268,10 @@ class RunReport:
             "pool_respawns": self.pool_respawns,
             "inline_fallbacks": self.inline_fallbacks,
             "cache_fallbacks": self.cache_fallbacks,
+            "enqueued": self.enqueued,
+            "lease_reclaims": self.lease_reclaims,
+            "speculations": self.speculations,
+            "local_fallbacks": self.local_fallbacks,
             "wall_seconds": round(self.wall_seconds, 3),
             "job_seconds_total": round(sum(self.job_seconds), 3),
             "job_seconds_max": round(max(self.job_seconds, default=0.0), 3),
@@ -236,7 +280,7 @@ class RunReport:
 
     def describe(self) -> str:
         """One-line summary for sweep footers and logs."""
-        return (
+        line = (
             f"{self.jobs} jobs / {self.attempts} attempts in "
             f"{self.wall_seconds:.1f}s — {self.retries} retries, "
             f"{self.timeouts} timeouts, {self.pool_respawns} pool "
@@ -244,6 +288,15 @@ class RunReport:
             f"{self.cache_fallbacks} cache fallbacks, "
             f"{self.failures} hard failures"
         )
+        if self.enqueued or self.lease_reclaims or self.speculations \
+                or self.local_fallbacks:
+            line += (
+                f"; distributed: {self.enqueued} enqueued, "
+                f"{self.lease_reclaims} lease reclaims, "
+                f"{self.speculations} speculative re-dispatches, "
+                f"{self.local_fallbacks} local fallbacks"
+            )
+        return line
 
 
 @dataclass
@@ -304,6 +357,10 @@ class SupervisedExecutor:
         self._max_inflight = max_inflight
         self._pool = None
         self._inline_only = False
+        # Jitter RNG: seeded (deterministic schedule) when
+        # REPRO_RETRY_JITTER_SEED is set, fresh entropy otherwise.
+        seed = os.environ.get("REPRO_RETRY_JITTER_SEED")
+        self._rng = random.Random(seed if seed else None)
 
     # -- pool lifecycle ----------------------------------------------------
 
@@ -469,7 +526,7 @@ class SupervisedExecutor:
                 job=jobs[fl.index],
                 attempts=fl.attempt,
             ) from exc
-        delay = self.policy.backoff_for(fl.attempt)
+        delay = self.policy.backoff_for(fl.attempt, rng=self._rng)
         logger.warning(
             "job %d attempt %d failed (%s: %s); retrying in %.2fs",
             fl.index,
@@ -524,7 +581,7 @@ class SupervisedExecutor:
             )
             self._inline_only = True
             return
-        delay = self.policy.backoff_for(st.pool_breaks)
+        delay = self.policy.backoff_for(st.pool_breaks, rng=self._rng)
         logger.warning(
             "worker pool broke (break %d/%d); respawning in %.2fs",
             st.pool_breaks,
@@ -565,7 +622,7 @@ class SupervisedExecutor:
                     job=jobs[fl.index],
                     attempts=fl.attempt,
                 )
-            delay = self.policy.backoff_for(fl.attempt)
+            delay = self.policy.backoff_for(fl.attempt, rng=self._rng)
             logger.warning(
                 "job %d attempt %d exceeded its %.1fs budget; killing the "
                 "pool and retrying in %.2fs",
@@ -623,7 +680,7 @@ class SupervisedExecutor:
                             job=job,
                             attempts=attempt,
                         ) from exc
-                    delay = self.policy.backoff_for(attempt)
+                    delay = self.policy.backoff_for(attempt, rng=self._rng)
                     logger.warning(
                         "job %d attempt %d failed inline (%s: %s); "
                         "retrying in %.2fs",

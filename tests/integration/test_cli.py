@@ -60,6 +60,53 @@ def test_figures_tiny(capsys):
     assert "Fig. 4" in out and "Fig. 5" in out and "headline" in out
 
 
+def test_figures_report_json(tmp_path, capsys):
+    from repro.experiments.performance import clear_result_cache
+
+    clear_result_cache()  # the in-process memo would leave jobs == 0
+    out_path = tmp_path / "reports" / "run.json"
+    rc = main(
+        ["figures", "--scale", "0.08", "--workloads", "2W1", "--quiet",
+         "--report-json", str(out_path)]
+    )
+    assert rc == 0
+    import json
+
+    payload = json.loads(out_path.read_text())
+    for key in ("jobs", "attempts", "retries", "enqueued", "lease_reclaims",
+                "speculations", "local_fallbacks"):
+        assert key in payload
+    assert payload["jobs"] > 0
+
+
+def test_worker_cli_serves_queue(tmp_path):
+    """`repro worker` end to end in-process-of-the-CLI: enqueue a task,
+    run a bounded worker over it, confirm the published result."""
+    from repro.runner import JobQueue, SimJob
+
+    q = JobQueue(tmp_path / "q")
+    q.write_config(None, None)
+    job = SimJob("M8", ("gzip", "twolf"), (0, 0), 400)
+    q.enqueue("b1-j0000", job)
+    import gc
+
+    try:
+        rc = main(
+            ["worker", "--queue", str(tmp_path / "q"),
+             "--worker-id", "cliw", "--max-tasks", "1", "--idle-exit", "5"]
+        )
+    finally:
+        # Undo the worker's process setup (gc off + frozen) — this
+        # process is a shared test session, not a dedicated worker.
+        gc.unfreeze()
+        gc.enable()
+    assert rc == 0
+    record = q.load_result("b1-j0000")
+    assert record is not None
+    assert record["worker"] == "cliw"
+    assert record["result"] == job.execute()
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["bogus"])

@@ -59,7 +59,7 @@ def test_result_cache_distinguishes_jobs(tmp_path, sim_jobs):
 def test_disk_cache_hits_skip_simulation(tmp_path, monkeypatch, sim_jobs):
     with BatchRunner(workers=1, cache_dir=tmp_path) as runner:
         first = runner.run(sim_jobs[:2])
-    assert len(list(tmp_path.glob("*.json"))) == 2
+    assert len(list(tmp_path.glob("??/*.json"))) == 2  # sharded layout
 
     # Second runner over the same directory must serve from disk: poison
     # run_simulation (the only compute path under SimJob.execute) to
@@ -79,7 +79,7 @@ def test_cache_payload_is_json(tmp_path, sim_jobs):
     cache = ResultCache(tmp_path)
     job = sim_jobs[0]
     cache.put(job, job.execute())
-    path = next(tmp_path.glob("*.json"))
+    path = next(tmp_path.glob("??/*.json"))
     payload = json.loads(path.read_text())
     assert payload["config_name"] == "M8"
     assert payload["cycles"] > 0

@@ -305,3 +305,64 @@ def test_chaos_sweep_is_bit_identical_to_fault_free(
     fresh = ResultCache(cache_dir)
     assert [fresh.get(j) for j in JOBS] == list(reference_results)
     assert fresh.hits == len(JOBS) and fresh.corrupt_fallbacks == 0
+
+
+# ------------------------------------------------------------- scoped rules
+
+
+def test_fault_rule_scope_parsing_and_validation():
+    rule = FaultRule.from_dict(
+        {"op": "stale-lease", "scope": "worker", "hang_seconds": 1.5}
+    )
+    assert rule.op == "stale_lease"  # dash form normalized
+    assert rule.scope == "worker"
+    with pytest.raises(ValueError, match="scope"):
+        FaultRule(match="", op="raise", scope="mars")
+    with pytest.raises(ValueError, match="fault op"):
+        FaultRule(match="", op="segfault")
+
+
+def test_out_of_scope_rule_neither_fires_nor_consumes_ordinal(
+    monkeypatch, tmp_path
+):
+    """A worker-scoped rule is invisible to pool executions: no fault,
+    and no ordinal burned (the same plan must fire identically however
+    many pool executions happen first)."""
+    state = tmp_path / "state"
+    monkeypatch.setenv("REPRO_FAULT_STATE", str(state))
+    monkeypatch.setenv(
+        "REPRO_FAULT_PLAN",
+        json.dumps([{"match": "", "op": "raise", "executions": [1],
+                     "scope": "worker"}]),
+    )
+    from repro.runner.faults import maybe_inject_fault
+
+    job = JOBS[0]
+    for _ in range(3):  # pool context: never fires, never claims
+        assert maybe_inject_fault(job, context="pool") is None
+    assert not list(state.iterdir())  # no ordinals consumed
+    with pytest.raises(InjectedFault):
+        maybe_inject_fault(job, context="worker")  # still execution #1
+
+
+def test_stale_lease_rule_returned_to_worker_context_only(
+    monkeypatch, tmp_path
+):
+    state = tmp_path / "state"
+    monkeypatch.setenv("REPRO_FAULT_STATE", str(state))
+    monkeypatch.setenv(
+        "REPRO_FAULT_PLAN",
+        json.dumps([{"match": "", "op": "stale_lease",
+                     "executions": [1, 2], "hang_seconds": 0.5}]),
+    )
+    from repro.runner.faults import maybe_inject_fault
+
+    job = JOBS[0]
+    # Pool context: stale_lease is meaningless (no lease) — skipped
+    # entirely even though the rule's scope is "any".
+    assert maybe_inject_fault(job, context="pool") is None
+    assert not list(state.iterdir())
+    directive = maybe_inject_fault(job, context="worker")
+    assert directive is not None
+    assert directive.op == "stale_lease"
+    assert directive.hang_seconds == 0.5

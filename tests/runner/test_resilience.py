@@ -388,3 +388,65 @@ def test_resolve_workers_logs_invalid_env(monkeypatch, caplog):
         with pytest.raises(ValueError, match="REPRO_WORKERS"):
             resolve_workers()
     assert any("invalid REPRO_WORKERS" in r.message for r in caplog.records)
+
+
+# ------------------------------------------------------------- retry jitter
+
+
+def test_backoff_jitter_deterministic_and_bounded():
+    import random as _random
+
+    policy = RetryPolicy(backoff_base=1.0, backoff_factor=1.0,
+                         backoff_max=10.0, jitter=0.5)
+    draws_a = [policy.backoff_for(1, rng=_random.Random(42))
+               for _ in range(50)]
+    # Same seed, same schedule: deterministic when seeded.
+    draws_b = [policy.backoff_for(1, rng=_random.Random(42))
+               for _ in range(50)]
+    assert draws_a == draws_b
+    # One evolving RNG spreads the delays within 1 +- jitter/2.
+    rng = _random.Random(7)
+    spread = [policy.backoff_for(1, rng=rng) for _ in range(200)]
+    assert all(0.75 <= d <= 1.25 for d in spread)
+    assert len(set(spread)) > 100  # actually spread, not a constant
+
+
+def test_zero_jitter_keeps_exact_legacy_schedule():
+    policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0,
+                         backoff_max=1.0)
+    assert policy.backoff_for(1) == pytest.approx(0.1)
+    assert policy.backoff_for(2) == pytest.approx(0.2)
+    assert policy.backoff_for(5) == pytest.approx(1.0)  # clamped
+
+
+def test_jitter_policy_from_env(monkeypatch):
+    monkeypatch.setenv("REPRO_RETRY_JITTER", "0.3")
+    assert RetryPolicy.from_env().jitter == pytest.approx(0.3)
+    monkeypatch.setenv("REPRO_RETRY_JITTER", "-1")
+    assert RetryPolicy.from_env().jitter == 0.0  # clamped, never negative
+
+
+def test_supervised_executor_jitter_rng_seeded_from_env(monkeypatch):
+    monkeypatch.setenv("REPRO_RETRY_JITTER_SEED", "421")
+    a = SupervisedExecutor(pool_factory=None, worker_fn=None, inline_fn=None)
+    b = SupervisedExecutor(pool_factory=None, worker_fn=None, inline_fn=None)
+    assert [a._rng.random() for _ in range(5)] == [
+        b._rng.random() for _ in range(5)
+    ]
+
+
+def test_run_report_distributed_counters_round_trip():
+    a = RunReport(jobs=2, enqueued=2, lease_reclaims=1, speculations=1)
+    b = RunReport(jobs=1, local_fallbacks=1)
+    a.merge(b)
+    assert (a.enqueued, a.lease_reclaims, a.speculations,
+            a.local_fallbacks) == (2, 1, 1, 1)
+    assert a.eventful
+    d = a.as_dict()
+    assert d["lease_reclaims"] == 1 and d["speculations"] == 1
+    text = a.describe()
+    assert "1 lease reclaims" in text
+    assert "1 speculative re-dispatches" in text
+    assert "1 local fallbacks" in text
+    # Purely-local reports keep the legacy one-liner.
+    assert "lease" not in RunReport(jobs=5, attempts=5).describe()

@@ -11,7 +11,8 @@ from repro.runner.screening import ScreenJob
 
 
 def _cached_path(tmp_path, job):
-    return tmp_path / f"{ResultCache.job_key(job)}.json"
+    key = ResultCache.job_key(job)
+    return tmp_path / key[:2] / f"{key}.json"
 
 
 def test_truncated_cache_file_recomputes(tmp_path, sim_job):
@@ -114,13 +115,67 @@ def test_screen_job_cache_round_trip(tmp_path):
     assert cache.get(job) == result
 
 
+def test_entries_land_in_two_hex_shards(tmp_path, sim_job):
+    cache = ResultCache(tmp_path)
+    cache.put(sim_job, sim_job.execute())
+    key = ResultCache.job_key(sim_job)
+    assert (tmp_path / key[:2] / f"{key}.json").exists()
+    assert not (tmp_path / f"{key}.json").exists()
+    assert len(cache) == 1
+
+
+def test_flat_layout_migrates_at_construction(tmp_path, sim_job):
+    """A pre-sharding cache directory upgrades in place: the old flat
+    entry is moved into its shard and keeps hitting."""
+    cache = ResultCache(tmp_path)
+    result = sim_job.execute()
+    cache.put(sim_job, result)
+    key = ResultCache.job_key(sim_job)
+    sharded = tmp_path / key[:2] / f"{key}.json"
+    flat = tmp_path / f"{key}.json"
+    flat.write_bytes(sharded.read_bytes())  # re-create the old layout
+    sharded.unlink()
+    (tmp_path / key[:2]).rmdir()
+
+    fresh = ResultCache(tmp_path)
+    assert not flat.exists()
+    assert sharded.exists()
+    assert fresh.get(sim_job) == result
+    assert fresh.hits == 1
+
+
+def test_flat_entry_read_transparently_without_migration_pass(
+    tmp_path, sim_job
+):
+    """A flat entry that appears *after* construction (written by an
+    old-layout process sharing the directory) still hits — get() falls
+    back to the flat path and migrates the entry on first touch."""
+    cache = ResultCache(tmp_path)
+    result = sim_job.execute()
+    cache.put(sim_job, result)
+    key = ResultCache.job_key(sim_job)
+    sharded = tmp_path / key[:2] / f"{key}.json"
+    flat = tmp_path / f"{key}.json"
+    sharded.rename(flat)  # demote to the old layout post-construction
+
+    assert cache.get(sim_job) == result
+    assert cache.misses == 0
+    assert sharded.exists() and not flat.exists()  # migrated on touch
+
+
+def test_migration_leaves_foreign_files_alone(tmp_path):
+    (tmp_path / "README.json").write_text("{}")
+    ResultCache(tmp_path)
+    assert (tmp_path / "README.json").exists()
+
+
 def test_screen_job_corrupted_entry_recomputes(tmp_path):
     job = ScreenJob("2M4+2M2", ("gzip", "mcf"), ((0, 2), (0, 1)), 300,
                     full_target=600)
     cache = ResultCache(tmp_path)
     result = job.execute()
     cache.put(job, result)
-    path = tmp_path / f"{ResultCache.job_key(job)}.json"
+    path = _cached_path(tmp_path, job)
     payload = json.loads(path.read_text())
     del payload["final_scores"]
     path.write_text(json.dumps(payload))
