@@ -19,6 +19,11 @@
 #                 processes under REPRO_FAULT_PLAN (worker death, hangs
 #                 past lease expiry, stale-lease takeover), asserting
 #                 bit-identical output + an eventful run report
+#   make serve-smoke  simulation-service lane: boot a real `repro
+#                 serve` daemon, submit the reference sweep, assert the
+#                 response byte-identical to the local execution path,
+#                 warm resubmission from cache, SIGTERM drain with no
+#                 orphaned pool workers (the CI serve-smoke lane)
 #   make ci       what the GitHub Actions workflow runs: tier-1 suite +
 #                 a smoke `figures` sweep (tiny scale, 2 workers)
 #
@@ -31,7 +36,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test cov bench bench-throughput figures ci lint perf-gate chaos \
-	chaos-remote
+	chaos-remote serve-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -45,6 +50,9 @@ chaos-remote:
 		tests/runner/test_distributed_queue.py \
 		tests/runner/test_distributed.py \
 		tests/runner/test_distributed_chaos.py
+
+serve-smoke:
+	$(PYTHON) -m pytest -x -q tests/service/test_serve_smoke.py
 
 lint:
 	ruff check src tests benchmarks

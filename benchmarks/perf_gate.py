@@ -4,11 +4,12 @@
 Snapshots the committed ``BENCH_000N.json`` baseline *before* the
 benchmarks overwrite it, re-runs the throughput suite
 (``RUN_BENCH=1 pytest benchmarks/test_simulator_throughput.py
-benchmarks/test_distributed_overhead.py``), then compares the fresh
-``perf_gate`` reference section of ``BENCH_0007.json`` (written by
-``test_distributed_overhead``, whose sweep runs the local supervised
-dispatch path — the gate measures the engine, not the fleet, while the
-same snapshot records the distributed A/B) — single-simulation cycles/sec
+benchmarks/test_service_latency.py``), then compares the fresh
+``perf_gate`` reference section of ``BENCH_0008.json`` (written by
+``test_service_latency``, whose gate sweep runs the local supervised
+dispatch path — the gate measures the engine, not the daemon, while the
+same snapshot records the service's cold/warm latency and coalescing
+storm) — single-simulation cycles/sec
 and the fixed-scale reference-sweep wall clock — against the newest
 committed snapshot that records one (baseline discovery walks
 ``BENCH_0*.json`` newest-first, so appending ``BENCH_000N`` snapshots
@@ -39,7 +40,7 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-FRESH_SNAPSHOT = REPO_ROOT / "BENCH_0007.json"
+FRESH_SNAPSHOT = REPO_ROOT / "BENCH_0008.json"
 
 
 def snapshot_number(path: Path) -> int:
@@ -73,7 +74,7 @@ def run_benchmarks() -> int:
     env.setdefault("PYTHONPATH", str(REPO_ROOT / "src"))
     cmd = [sys.executable, "-m", "pytest",
            "benchmarks/test_simulator_throughput.py",
-           "benchmarks/test_distributed_overhead.py", "-q"]
+           "benchmarks/test_service_latency.py", "-q"]
     # e.g. PERF_GATE_PYTEST_ARGS="-k test_continuation_sweep_throughput"
     # narrows the run to just the test that produces the gate reference.
     extra = os.environ.get("PERF_GATE_PYTEST_ARGS")
@@ -89,7 +90,7 @@ def main() -> int:
     baseline, baseline_path = load_gate_baseline()
 
     # The benchmark modules rewrite every BENCH_000N.json they own; only
-    # BENCH_0007 carries the fresh gate reference (and merge-protects its
+    # BENCH_0008 carries the fresh gate reference (and merge-protects its
     # other sections itself). Preserve the other committed snapshots —
     # they are this-machine historical records, not gate outputs — so the
     # gate never leaves the tree dirty with wrong-machine numbers.

@@ -19,6 +19,17 @@ worker
     against the shared result cache, publish results
     (see :mod:`repro.runner.distributed`). Pair with
     ``figures --queue DIR`` or ``REPRO_DIST_QUEUE``.
+serve
+    Run the persistent simulation service: an asyncio daemon over one
+    shared :class:`~repro.runner.BatchRunner` that accepts
+    simulate/sweep/screen requests, coalesces concurrent identical
+    requests onto single flights, serves warm requests from the shared
+    result cache, and drains gracefully on SIGTERM
+    (see :mod:`repro.service`).
+submit / status
+    Thin clients for a running ``repro serve`` daemon: submit one
+    request and print the canonical result payload; print the server's
+    counters and run report.
 """
 
 from __future__ import annotations
@@ -142,6 +153,41 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     from repro.runner.distributed import run_worker
 
     return run_worker(args)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.daemon import run_serve
+
+    return run_serve(args)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.daemon import run_submit
+
+    return run_submit(args)
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.service.daemon import run_status
+
+    return run_status(args)
+
+
+def _add_endpoint_args(parser: argparse.ArgumentParser) -> None:
+    """The service endpoint knobs shared by serve/submit/status."""
+    parser.add_argument(
+        "--socket",
+        default=None,
+        help="unix-domain socket path of the service endpoint",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="TCP host when using --port (default: loopback)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=None, help="TCP port of the endpoint"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -285,6 +331,93 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: keep polling)",
     )
     p_wrk.set_defaults(func=_cmd_worker)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the persistent simulation service (daemon)",
+    )
+    _add_endpoint_args(p_srv)
+    p_srv.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="worker processes for the shared BatchRunner "
+        "(default: REPRO_WORKERS or all cores)",
+    )
+    p_srv.add_argument(
+        "--cache",
+        default=None,
+        help="shared result-cache directory (default: REPRO_RESULT_CACHE; "
+        "unset = a private temporary cache for this instance)",
+    )
+    p_srv.add_argument(
+        "--queue",
+        default=None,
+        help="distributed job-queue directory (default: REPRO_DIST_QUEUE; "
+        "unset = the local supervised pool)",
+    )
+    p_srv.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help="flights allowed to wait behind the executing one before "
+        "submissions are refused with a retryable error (default: 64)",
+    )
+    p_srv.add_argument(
+        "--progress-interval",
+        type=float,
+        default=1.0,
+        help="seconds between progress heartbeats to waiting clients",
+    )
+    p_srv.add_argument("--quiet", action="store_true")
+    p_srv.set_defaults(func=_cmd_serve)
+
+    p_sub = sub.add_parser(
+        "submit",
+        help="submit one request to a running `repro serve` daemon",
+    )
+    _add_endpoint_args(p_sub)
+    p_sub.add_argument(
+        "--request",
+        default=None,
+        help="full request as JSON ({\"kind\": ..., \"spec\": ...}); "
+        "@FILE reads it from a file; overrides the simulate flags",
+    )
+    p_sub.add_argument("--config", default="M8")
+    p_sub.add_argument("benchmarks", nargs="*", help="benchmark names")
+    p_sub.add_argument(
+        "--mapping",
+        default=None,
+        help="comma-separated thread-to-pipeline mapping "
+        "(default: all threads on pipeline 0)",
+    )
+    p_sub.add_argument("--target", type=int, default=8000)
+    p_sub.add_argument("--trace-length", type=int, default=None)
+    p_sub.add_argument("--seed", type=int, default=0)
+    p_sub.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="client-side socket timeout in seconds (default: 600)",
+    )
+    p_sub.add_argument("--quiet", action="store_true")
+    p_sub.set_defaults(func=_cmd_submit)
+
+    p_st = sub.add_parser(
+        "status",
+        help="print a running service's counters and run report",
+    )
+    _add_endpoint_args(p_st)
+    p_st.add_argument(
+        "--timeout", type=float, default=10.0, help="socket timeout (s)"
+    )
+    p_st.add_argument(
+        "--porcelain",
+        action="store_true",
+        help="single-line canonical JSON instead of pretty-printed",
+    )
+    p_st.set_defaults(func=_cmd_status)
 
     return parser
 

@@ -20,6 +20,12 @@ breaking degrades the batch to inline execution. The accumulated
 :class:`~repro.runner.resilience.RunReport` (``runner.report``) records
 how much fault handling a sweep needed.
 
+A runner is built to stay alive: the worker pool, trace store and result
+cache persist across any number of :meth:`BatchRunner.run` calls, which
+is what lets the ``repro serve`` daemon (:mod:`repro.service`) execute
+every request of a long-lived process on one shared runner.  After
+:meth:`BatchRunner.close` a runner refuses new batches (``closed``).
+
 Workers share two content-addressed stores through one directory:
 
 * a :class:`~repro.trace.packed.PackedTraceStore` — before a parallel
@@ -200,6 +206,7 @@ class BatchRunner:
     ) -> None:
         self._supervisor: Optional[SupervisedExecutor] = None  # before any raise
         self._own_store_tmp: Optional[tempfile.TemporaryDirectory] = None
+        self._closed = False
         self.workers = resolve_workers(workers)
         self.policy = policy if policy is not None else RetryPolicy.from_env()
         self.report = RunReport()
@@ -257,8 +264,15 @@ class BatchRunner:
         after = cache.corrupt_fallbacks if cache is not None else 0
         return result, {"cache_fallbacks": after - before}
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run; a closed runner refuses new
+        batches instead of silently recreating half its machinery."""
+        return self._closed
+
     def close(self) -> None:
         """Shut the worker pool down (idempotent; double-close safe)."""
+        self._closed = True
         if self._supervisor is not None:
             self._supervisor.close()
             self._supervisor = None
@@ -309,6 +323,11 @@ class BatchRunner:
         dispatched to the remote worker fleet instead, with the local
         supervised path as the fallback at every degradation point.
         """
+        if self._closed:
+            # The serving layer keeps one runner alive across thousands
+            # of requests; a batch slipping in after drain/close would
+            # otherwise resurrect the pool with its temp store gone.
+            raise RuntimeError("BatchRunner is closed")
         jobs = list(jobs)
         self.jobs_run += len(jobs)
         if self.queue is not None and len(jobs) >= self._min_parallel(jobs):

@@ -196,5 +196,37 @@ class ResultCache:
         atomic_write_bytes(path, json.dumps(payload).encode())
 
     def __len__(self) -> int:
-        flat = sum(1 for _ in self.directory.glob("*.json"))
-        return flat + sum(1 for _ in self.directory.glob("??/*.json"))
+        """Entry count in one ``os.scandir`` walk, each key counted once.
+
+        The old implementation ran two full directory globs (``*.json``
+        plus ``??/*.json``) — an O(N) double scan on fleet-scale caches
+        that could also double-count an entry caught mid-migration
+        (visible both flat and in its shard within the same pass).  One
+        walk collects shard directories as it counts the flat stragglers,
+        and a name set collapses a flat/sharded duplicate to one key.
+        """
+        seen = set()
+        shards = []
+        try:
+            with os.scandir(self.directory) as entries:
+                for entry in entries:
+                    name = entry.name
+                    if name.endswith(".json") and entry.is_file(
+                        follow_symlinks=False
+                    ):
+                        seen.add(name)
+                    elif len(name) == 2 and entry.is_dir(
+                        follow_symlinks=False
+                    ):
+                        shards.append(entry.path)
+        except FileNotFoundError:
+            return 0
+        for shard in shards:
+            try:
+                with os.scandir(shard) as entries:
+                    seen.update(
+                        e.name for e in entries if e.name.endswith(".json")
+                    )
+            except FileNotFoundError:
+                continue  # shard vanished mid-walk (concurrent cleanup)
+        return len(seen)

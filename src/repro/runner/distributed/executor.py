@@ -198,6 +198,11 @@ class DistributedExecutor:
         pending: Dict[str, int] = {tid: i for i, tid in enumerate(task_ids)}
         durations: List[float] = []
         first_leased: Dict[str, float] = {}
+        #: task_id -> (wall-clock expiry stamp, monotonic deadline): the
+        #: lease file's wall stamp converted to this process' monotonic
+        #: clock at first observation, so expiry countdowns survive
+        #: wall-clock jumps (see the reclaim section below).
+        lease_deadlines: Dict[str, Tuple[float, float]] = {}
         failures_counted: Dict[str, int] = {}
         spec_issued: set = set()
         now = time.monotonic()
@@ -245,18 +250,35 @@ class DistributedExecutor:
                     )
 
             # -- reclaim expired leases (lost/hung workers) ------------
-            wall = time.time()
+            # Lease files carry *wall-clock* expiry stamps (the only
+            # clock comparable across worker machines), but this front
+            # end enforces them on the monotonic clock like every other
+            # deadline in this file: each observed stamp is converted to
+            # a monotonic deadline exactly once, so an NTP step or
+            # suspend/resume mid-wait can neither spuriously expire a
+            # healthy lease nor immortalize a dead one.  A renewal
+            # writes a fresh stamp, which re-converts.
             for lease in self.queue.leases(self.lease_ttl):
                 base = base_task_id(lease.task_id)
                 if base not in pending:
+                    lease_deadlines.pop(lease.task_id, None)
                     continue
-                if lease.expired(wall):
+                known = lease_deadlines.get(lease.task_id)
+                if known is None or known[0] != lease.expiry:
+                    deadline = time.monotonic() + max(
+                        0.0, lease.expiry - time.time()
+                    )
+                    lease_deadlines[lease.task_id] = (lease.expiry, deadline)
+                else:
+                    deadline = known[1]
+                if time.monotonic() >= deadline:
                     if self.queue.reclaim(lease.task_id):
                         logger.warning(
                             "reclaimed expired lease on %s (owner %s)",
                             lease.task_id, lease.owner,
                         )
                         first_leased.pop(lease.task_id, None)
+                        lease_deadlines.pop(lease.task_id, None)
                 else:
                     first_leased.setdefault(lease.task_id, time.monotonic())
 

@@ -1,0 +1,41 @@
+"""Simulation-as-a-service: the persistent ``repro serve`` daemon.
+
+The service layer turns the batch tool into a serving system: a
+long-lived asyncio daemon (:mod:`repro.service.server`) accepts
+simulate/sweep/screen requests as serialized Job-protocol payloads over
+a versioned wire protocol (:mod:`repro.service.protocol`), executes them
+on one shared :class:`~repro.runner.batch.BatchRunner`, coalesces
+concurrent identical requests onto single flights, serves warm requests
+straight from the sharded :class:`~repro.runner.cache.ResultCache`, and
+streams progress plus the canonical result payload back through the thin
+client (:mod:`repro.service.client` / ``repro submit``).
+"""
+
+from repro.service.client import ServiceClient, ServiceRequestError
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    jobs_for_request,
+    request_key,
+)
+from repro.service.server import (
+    Flight,
+    ReproService,
+    ServiceBusy,
+    ServiceDraining,
+    ServiceError,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "jobs_for_request",
+    "request_key",
+    "Flight",
+    "ReproService",
+    "ServiceBusy",
+    "ServiceDraining",
+    "ServiceError",
+    "ServiceClient",
+    "ServiceRequestError",
+]

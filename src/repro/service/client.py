@@ -1,0 +1,191 @@
+"""Thin synchronous client for the ``repro serve`` daemon.
+
+One :class:`ServiceClient` talks the newline-delimited JSON protocol of
+:mod:`repro.service.protocol` over a unix socket or TCP.  Each call
+opens its own connection (the daemon is cheap to connect to and the
+service's coalescing/caching make repeat requests nearly free), so the
+client is trivially usable from threads and subprocesses.
+
+``submit`` returns the decoded response payload *and* keeps the raw
+canonical payload text in :attr:`ServiceClient.last_payload_text` — the
+exact bytes the server rendered — so callers can assert byte identity
+(the smoke lane compares a service response against the same sweep run
+through the figures CLI path byte for byte).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Callable, Optional
+
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    canonical_dumps,
+    encode_frame,
+)
+
+__all__ = ["ServiceClient", "ServiceRequestError"]
+
+
+class ServiceRequestError(RuntimeError):
+    """The server answered with an error frame; ``retryable`` mirrors the
+    frame, so callers can tell backpressure/drain (resubmit later) from a
+    permanent refusal (bad spec, exhausted job)."""
+
+    def __init__(self, message: str, retryable: bool = False) -> None:
+        super().__init__(message)
+        self.retryable = retryable
+
+
+class ServiceClient:
+    """Connect-per-call client for the simulation service.
+
+    Exactly one of ``socket_path`` (unix domain) or ``port`` (TCP, with
+    ``host``) selects the endpoint — the same pair of knobs ``repro
+    serve`` listens on.
+    """
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        timeout: Optional[float] = 60.0,
+    ) -> None:
+        if (socket_path is None) == (port is None):
+            raise ValueError("give exactly one of socket_path or port")
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        #: canonical text of the last result payload (byte-identity probe)
+        self.last_payload_text: Optional[str] = None
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        if self.socket_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(self.socket_path)
+        else:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        return sock
+
+    @staticmethod
+    def _read_frame(stream) -> dict:
+        line = stream.readline(MAX_FRAME_BYTES + 2)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        if not line.endswith(b"\n"):
+            raise ProtocolError("truncated frame from server")
+        frame = json.loads(line)
+        if not isinstance(frame, dict) or "type" not in frame:
+            raise ProtocolError("malformed frame from server")
+        return frame
+
+    def _session(self):
+        """(socket, buffered reader, hello frame) for one exchange."""
+        sock = self._connect()
+        stream = sock.makefile("rb")
+        hello = self._read_frame(stream)
+        if hello.get("type") != "hello":
+            raise ProtocolError(f"expected hello, got {hello.get('type')!r}")
+        versions = hello.get("versions") or {}
+        if versions.get("protocol") != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"protocol mismatch: server speaks "
+                f"{versions.get('protocol')!r}, client {PROTOCOL_VERSION}"
+            )
+        return sock, stream, hello
+
+    def _roundtrip(self, request: dict, want: str) -> dict:
+        sock, stream, _ = self._session()
+        try:
+            sock.sendall(encode_frame(request))
+            frame = self._read_frame(stream)
+            if frame.get("type") == "error":
+                raise ServiceRequestError(
+                    str(frame.get("error")),
+                    retryable=bool(frame.get("retryable")),
+                )
+            if frame.get("type") != want:
+                raise ProtocolError(
+                    f"expected {want!r} frame, got {frame.get('type')!r}"
+                )
+            return frame
+        finally:
+            stream.close()
+            sock.close()
+
+    # -- the verbs ---------------------------------------------------------
+
+    def hello(self) -> dict:
+        """The server's connect-time version banner."""
+        sock, stream, hello = self._session()
+        stream.close()
+        sock.close()
+        return hello
+
+    def ping(self) -> bool:
+        return self._roundtrip({"type": "ping"}, "pong")["type"] == "pong"
+
+    def status(self) -> dict:
+        """Server counters, flight state and the runner's RunReport."""
+        return self._roundtrip({"type": "status"}, "status")["stats"]
+
+    def drain(self) -> None:
+        """Ask the server to drain gracefully (admin verb)."""
+        self._roundtrip({"type": "drain"}, "draining")
+
+    def submit(
+        self,
+        kind: str,
+        spec,
+        request_id: Optional[str] = None,
+        on_progress: Optional[Callable[[dict], None]] = None,
+    ):
+        """Submit one request and block until its result frame lands.
+
+        Progress frames are fed to ``on_progress`` as they arrive.
+        Returns the decoded payload (``sim_result_payload`` shape, or a
+        list of them for sweeps); raises :class:`ServiceRequestError`
+        with ``retryable`` set for backpressure/drain refusals.
+        """
+        sock, stream, _ = self._session()
+        try:
+            request = {"type": "submit", "kind": kind, "spec": spec}
+            if request_id is not None:
+                request["id"] = request_id
+            sock.sendall(encode_frame(request))
+            acked = False
+            while True:
+                frame = self._read_frame(stream)
+                ftype = frame.get("type")
+                if ftype == "error":
+                    raise ServiceRequestError(
+                        str(frame.get("error")),
+                        retryable=bool(frame.get("retryable")),
+                    )
+                if ftype == "ack":
+                    acked = True
+                    continue
+                if ftype == "progress":
+                    if on_progress is not None:
+                        on_progress(frame)
+                    continue
+                if ftype == "result":
+                    if not acked:
+                        raise ProtocolError("result frame before ack")
+                    payload = frame["payload"]
+                    self.last_payload_text = canonical_dumps(payload)
+                    return payload
+                raise ProtocolError(f"unexpected frame type {ftype!r}")
+        finally:
+            stream.close()
+            sock.close()

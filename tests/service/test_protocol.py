@@ -1,0 +1,267 @@
+"""Wire-protocol unit tests: framing, spec validation, request identity.
+
+The protocol's one invariant everything else leans on: *value identity
+implies byte identity* (canonical encoding), and *request identity
+follows cache identity* (request keys hash the jobs' own
+``cache_key_fields()`` under the same version salts as the result
+cache).  These tests pin both down without a server in the loop.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.runner import cache as cache_mod
+from repro.runner.jobs import SimJob
+from repro.runner.screening import ScreenJob
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    canonical_dumps,
+    decode_frame,
+    encode_frame,
+    jobs_for_request,
+    read_frame,
+    request_key,
+    response_payload,
+    screen_job_from_spec,
+    sim_job_from_spec,
+    version_banner,
+)
+
+SIM_SPEC = {
+    "config": "M8",
+    "benchmarks": ["gzip", "twolf"],
+    "mapping": [0, 0],
+    "commit_target": 600,
+    "trace_length": 2000,
+    "seed": 0,
+}
+
+
+# -- framing ----------------------------------------------------------------
+
+
+def test_frame_round_trip():
+    frame = {"type": "submit", "kind": "simulate", "spec": SIM_SPEC}
+    assert decode_frame(encode_frame(frame).rstrip(b"\n")) == frame
+
+
+def test_encode_frame_is_canonical():
+    # Key order must not leak into the bytes: one value, one encoding.
+    a = encode_frame({"type": "x", "b": 1, "a": 2})
+    b = encode_frame({"a": 2, "type": "x", "b": 1})
+    assert a == b
+    assert a.endswith(b"\n")
+    assert b" " not in a  # compact separators
+
+
+def test_decode_frame_rejects_garbage():
+    with pytest.raises(ProtocolError, match="undecodable"):
+        decode_frame(b"{not json")
+    with pytest.raises(ProtocolError, match="object with a string 'type'"):
+        decode_frame(b"[1,2,3]")
+    with pytest.raises(ProtocolError, match="object with a string 'type'"):
+        decode_frame(b'{"type": 7}')
+
+
+def test_decode_frame_rejects_oversize():
+    blob = b'{"type":"x","pad":"' + b"a" * MAX_FRAME_BYTES + b'"}'
+    with pytest.raises(ProtocolError, match="exceeds"):
+        decode_frame(blob)
+
+
+def test_read_frame_eof_and_truncation():
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(encode_frame({"type": "ping"}))
+        reader.feed_data(b'{"type":"truncated"')  # no newline before EOF
+        reader.feed_eof()
+        first = await read_frame(reader)
+        assert first == {"type": "ping"}
+        with pytest.raises(ProtocolError, match="truncated"):
+            await read_frame(reader)
+        assert await read_frame(reader) is None  # EOF
+
+    asyncio.run(scenario())
+
+
+def test_read_frame_respects_stream_limit():
+    async def scenario():
+        # A reader with a tight limit (as the daemon configures its
+        # server) turns an unframeable blob into a ProtocolError, not an
+        # unbounded buffer.
+        reader = asyncio.StreamReader(limit=64)
+        reader.feed_data(b"x" * 256)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            await read_frame(reader)
+
+    asyncio.run(scenario())
+
+
+def test_version_banner_shape():
+    banner = version_banner()
+    assert banner["protocol"] == PROTOCOL_VERSION
+    assert banner["engine"] == cache_mod.ENGINE_VERSION
+    assert set(banner) == {"protocol", "engine", "trace_format"}
+
+
+# -- spec validation --------------------------------------------------------
+
+
+def test_sim_job_from_spec_builds_equivalent_job():
+    job = sim_job_from_spec(SIM_SPEC)
+    direct = SimJob("M8", ("gzip", "twolf"), (0, 0), 600, trace_length=2000)
+    assert isinstance(job, SimJob)
+    assert job.cache_key_fields() == direct.cache_key_fields()
+
+
+def test_sim_spec_missing_required_field():
+    for field in ("config", "benchmarks", "mapping", "commit_target"):
+        spec = {k: v for k, v in SIM_SPEC.items() if k != field}
+        with pytest.raises(ProtocolError, match=field):
+            sim_job_from_spec(spec)
+
+
+def test_sim_spec_rejects_unknown_fields():
+    with pytest.raises(ProtocolError, match="frobnicate"):
+        sim_job_from_spec(dict(SIM_SPEC, frobnicate=1))
+
+
+def test_sim_spec_rejects_non_string_config():
+    # "Serialized jobs, not code": only configuration *names* travel.
+    with pytest.raises(ProtocolError, match="configuration name"):
+        sim_job_from_spec(dict(SIM_SPEC, config={"pipeline": "evil"}))
+
+
+def test_sim_spec_rejects_untyped_values():
+    with pytest.raises(ProtocolError, match="bad simulate spec"):
+        sim_job_from_spec(dict(SIM_SPEC, commit_target="lots"))
+    with pytest.raises(ProtocolError):
+        sim_job_from_spec(dict(SIM_SPEC, mapping="zero"))
+    with pytest.raises(ProtocolError, match="must be an object"):
+        sim_job_from_spec(["not", "a", "dict"])
+
+
+def test_screen_job_from_spec_builds_equivalent_job():
+    spec = {
+        "config": "2M4+2M2",
+        "benchmarks": ["gzip", "twolf", "bzip2", "mcf"],
+        "candidates": [[0, 1, 2, 3], [0, 2, 1, 3]],
+        "final_target": 600,
+        "min_target": 150,
+        "seed": 3,
+    }
+    job = screen_job_from_spec(spec)
+    direct = ScreenJob(
+        config="2M4+2M2",
+        benchmarks=("gzip", "twolf", "bzip2", "mcf"),
+        candidates=((0, 1, 2, 3), (0, 2, 1, 3)),
+        final_target=600,
+        min_target=150,
+        seed=3,
+    )
+    assert isinstance(job, ScreenJob)
+    assert job.cache_key_fields() == direct.cache_key_fields()
+
+
+def test_screen_spec_validation():
+    with pytest.raises(ProtocolError, match="candidates"):
+        screen_job_from_spec({"config": "M8", "benchmarks": ["gzip"],
+                              "final_target": 600})
+    with pytest.raises(ProtocolError, match="unknown"):
+        screen_job_from_spec({"config": "M8", "benchmarks": ["gzip"],
+                              "candidates": [[0]], "final_target": 600,
+                              "surprise": True})
+
+
+# -- request deserialization ------------------------------------------------
+
+
+def test_jobs_for_request_kinds():
+    assert len(jobs_for_request("simulate", SIM_SPEC)) == 1
+    sweep = {"sims": [SIM_SPEC, dict(SIM_SPEC, seed=1)]}
+    assert len(jobs_for_request("sweep", sweep)) == 2
+    with pytest.raises(ProtocolError, match="unknown request kind"):
+        jobs_for_request("teleport", SIM_SPEC)
+
+
+def test_sweep_spec_validation():
+    with pytest.raises(ProtocolError, match="non-empty"):
+        jobs_for_request("sweep", {"sims": []})
+    with pytest.raises(ProtocolError, match="non-empty"):
+        jobs_for_request("sweep", {"sims": "gzip"})
+    with pytest.raises(ProtocolError, match="sims"):
+        jobs_for_request("sweep", {})
+    with pytest.raises(ProtocolError, match="unknown"):
+        jobs_for_request("sweep", {"sims": [SIM_SPEC], "shuffle": True})
+
+
+# -- request identity -------------------------------------------------------
+
+
+def test_request_key_ignores_spelling():
+    """Two spellings of one request — key order, list vs tuple, implicit
+    vs explicit defaults — must coalesce onto one key."""
+    reordered = dict(reversed(list(SIM_SPEC.items())))
+    tupled = dict(SIM_SPEC, benchmarks=("gzip", "twolf"), mapping=(0, 0))
+    defaulted = {k: v for k, v in SIM_SPEC.items() if k != "seed"}  # seed=0
+    base = request_key("simulate", jobs_for_request("simulate", SIM_SPEC))
+    for variant in (reordered, tupled, defaulted):
+        jobs = jobs_for_request("simulate", variant)
+        assert request_key("simulate", jobs) == base
+
+
+def test_request_key_separates_different_requests():
+    base = request_key("simulate", jobs_for_request("simulate", SIM_SPEC))
+    for variant in (
+        dict(SIM_SPEC, seed=1),
+        dict(SIM_SPEC, commit_target=601),
+        dict(SIM_SPEC, mapping=[0, 1]),
+        dict(SIM_SPEC, benchmarks=["gzip", "bzip2"]),
+    ):
+        jobs = jobs_for_request("simulate", variant)
+        assert request_key("simulate", jobs) != base
+
+
+def test_request_key_includes_kind():
+    # A sweep of one sim is not the same request as that sim: the
+    # response shapes differ (list vs object), so the keys must too.
+    sim_jobs = jobs_for_request("simulate", SIM_SPEC)
+    sweep_jobs = jobs_for_request("sweep", {"sims": [SIM_SPEC]})
+    assert request_key("simulate", sim_jobs) != request_key("sweep", sweep_jobs)
+
+
+def test_request_key_salted_with_engine_version(monkeypatch):
+    """Bumping ENGINE_VERSION must invalidate request identity exactly as
+    it invalidates cache entries — the two tiers always agree."""
+    jobs = jobs_for_request("simulate", SIM_SPEC)
+    before = request_key("simulate", jobs)
+    monkeypatch.setattr(cache_mod, "ENGINE_VERSION",
+                        cache_mod.ENGINE_VERSION + 1)
+    assert request_key("simulate", jobs) != before
+
+
+# -- response payloads ------------------------------------------------------
+
+
+class _FakeJob:
+    def result_payload(self, result):
+        return {"value": result}
+
+
+def test_response_payload_shapes():
+    jobs = [_FakeJob(), _FakeJob()]
+    assert response_payload("sweep", jobs, [1, 2]) == [
+        {"value": 1}, {"value": 2},
+    ]
+    assert response_payload("simulate", jobs[:1], [7]) == {"value": 7}
+
+
+def test_canonical_dumps_is_deterministic():
+    payload = {"b": [1, 2], "a": {"y": 1, "x": 2}}
+    text = canonical_dumps(payload)
+    assert text == canonical_dumps(json.loads(text))
+    assert text == '{"a":{"x":2,"y":1},"b":[1,2]}'
