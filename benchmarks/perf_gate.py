@@ -4,12 +4,12 @@
 Snapshots the committed ``BENCH_000N.json`` baseline *before* the
 benchmarks overwrite it, re-runs the throughput suite
 (``RUN_BENCH=1 pytest benchmarks/test_simulator_throughput.py
-benchmarks/test_service_latency.py``), then compares the fresh
-``perf_gate`` reference section of ``BENCH_0008.json`` (written by
-``test_service_latency``, whose gate sweep runs the local supervised
-dispatch path — the gate measures the engine, not the daemon, while the
-same snapshot records the service's cold/warm latency and coalescing
-storm) — single-simulation cycles/sec
+benchmarks/test_service_latency.py benchmarks/test_codegen_speedup.py``),
+then compares the fresh ``perf_gate`` reference section of
+``BENCH_0009.json`` (written by ``test_codegen_speedup``, whose gate
+sweep and single-sims run the default — generic — engine, so the gate
+keeps measuring what production runs use; the same snapshot records the
+interleaved generic-vs-codegen A/B) — single-simulation cycles/sec
 and the fixed-scale reference-sweep wall clock — against the newest
 committed snapshot that records one (baseline discovery walks
 ``BENCH_0*.json`` newest-first, so appending ``BENCH_000N`` snapshots
@@ -40,7 +40,7 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-FRESH_SNAPSHOT = REPO_ROOT / "BENCH_0008.json"
+FRESH_SNAPSHOT = REPO_ROOT / "BENCH_0009.json"
 
 
 def snapshot_number(path: Path) -> int:
@@ -74,7 +74,8 @@ def run_benchmarks() -> int:
     env.setdefault("PYTHONPATH", str(REPO_ROOT / "src"))
     cmd = [sys.executable, "-m", "pytest",
            "benchmarks/test_simulator_throughput.py",
-           "benchmarks/test_service_latency.py", "-q"]
+           "benchmarks/test_service_latency.py",
+           "benchmarks/test_codegen_speedup.py", "-q"]
     # e.g. PERF_GATE_PYTEST_ARGS="-k test_continuation_sweep_throughput"
     # narrows the run to just the test that produces the gate reference.
     extra = os.environ.get("PERF_GATE_PYTEST_ARGS")
@@ -90,7 +91,7 @@ def main() -> int:
     baseline, baseline_path = load_gate_baseline()
 
     # The benchmark modules rewrite every BENCH_000N.json they own; only
-    # BENCH_0008 carries the fresh gate reference (and merge-protects its
+    # BENCH_0009 carries the fresh gate reference (and merge-protects its
     # other sections itself). Preserve the other committed snapshots —
     # they are this-machine historical records, not gate outputs — so the
     # gate never leaves the tree dirty with wrong-machine numbers.

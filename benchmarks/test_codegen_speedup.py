@@ -1,0 +1,245 @@
+"""PR 9 snapshot (``BENCH_0009.json``): specialized cycle-loop codegen.
+
+The codegen engine's hard guarantee is behavioural — bit-identical
+statistics vs the generic engine, pinned by the lockstep and
+forced-deopt suites under ``tests/``.  The number that matters here is
+what the specialization *buys*: cycles/second of the generated fused
+loop against the generic scheduling loop, measured **interleaved in one
+session** (generic round, codegen round, alternating order every round)
+so frequency scaling, cache warm-up and allocator state cannot favour
+either arm.  Per config the snapshot records both arms' best-of rates,
+the speedup, and the deopt counters (M8's FLUSH policy deopts on the
+first flush by design — the specialization targets the hdSMT
+steady-state configs, whose runs stay fully specialized).
+
+The snapshot also carries the standard **perf-gate reference** section
+(fixed ``GATE_SCALE``, same shape and methodology as BENCH_0008's;
+``benchmarks/perf_gate.py`` treats this snapshot as the fresh gate
+source).  The gate sweep and single-sims run the default — generic —
+engine, so the gate keeps measuring what production runs use.
+Sections written by other benches are preserved — merge, never clobber.
+"""
+
+import json
+import os
+import platform
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from test_simulator_throughput import (
+    GATE_SCALE,
+    GATE_SINGLE_TARGET,
+    GATE_WORKERS,
+    SWEEP_CONFIGS,
+    SWEEP_SCALE,
+    SWEEP_WORKLOADS,
+    seed_baseline_cycles_per_second,
+)
+
+from repro.core.config import get_config
+from repro.core.engine.options import EngineOptions
+from repro.core.processor import Processor, clear_warm_cache
+from repro.runner import BatchRunner
+from repro.trace.stream import clear_trace_cache, trace_for
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+CODEGEN_SNAPSHOT = _REPO_ROOT / "BENCH_0009.json"
+
+#: A/B rounds per config (each round runs BOTH arms; best-of across
+#: rounds is the reported rate, as everywhere else in the harness).
+AB_ROUNDS = 7
+
+#: Same window as the perf-gate single-sims: big enough that best-of
+#: rates are stable to a few percent, small enough for the bench lane.
+AB_TARGET = GATE_SINGLE_TARGET
+
+#: The measured configurations: the two hdSMT heterogeneous configs
+#: (L1MCOUNT policy — no flushes, so runs stay fully specialized) and
+#: the monolithic baseline (FLUSH policy — deopts to generic on the
+#: first flush, recorded to show the guard cost is paid once).
+AB_CONFIGS = (
+    ("2M4+2M2", ("gzip", "twolf", "bzip2", "mcf"), (0, 2, 1, 3)),
+    ("1M6+2M4+2M2", ("gzip", "gcc", "crafty", "eon", "gap", "bzip2"),
+     (0, 0, 1, 2, 3, 4)),
+    ("M8", ("gzip", "twolf", "bzip2", "mcf"), (0, 0, 0, 0)),
+)
+
+
+def _final_state(proc):
+    return (
+        proc.cycle,
+        tuple(proc.committed),
+        tuple(proc.stat_mispredicts),
+        tuple(proc.stat_flushes),
+        tuple(proc.stat_fetched),
+        proc.aggregate_ipc(),
+    )
+
+
+def _run_once(cfg, traces, mapping):
+    proc = Processor(cfg, traces, mapping, commit_target=AB_TARGET)
+    proc.warm()
+    t0 = time.perf_counter()
+    proc.run()
+    return proc, time.perf_counter() - t0
+
+
+def _ab_config(name, benches, mapping):
+    """Interleaved A/B of one config; returns its snapshot record."""
+    generic_cfg = replace(
+        get_config(name), engine_options=EngineOptions(codegen=False)
+    )
+    codegen_cfg = replace(
+        get_config(name), engine_options=EngineOptions(codegen=True)
+    )
+    traces = [trace_for(b, 6000) for b in benches]
+    best = {"generic": None, "codegen": None}
+    state = {}
+    deopts = {}
+    for rnd in range(AB_ROUNDS):
+        arms = [("generic", generic_cfg), ("codegen", codegen_cfg)]
+        if rnd % 2:  # alternate order: neither arm always runs cold
+            arms.reverse()
+        for arm, cfg in arms:
+            proc, dt = _run_once(cfg, traces, mapping)
+            if best[arm] is None or dt < best[arm]:
+                best[arm] = dt
+            state[arm] = _final_state(proc)
+            if arm == "codegen":
+                deopts = dict(proc.codegen_deopts or {})
+        # The two arms must agree on every statistic, every round.
+        assert state["generic"] == state["codegen"], name
+    cycles = state["generic"][0]
+    generic_cps = round(cycles / best["generic"])
+    codegen_cps = round(cycles / best["codegen"])
+    return {
+        "generic_cycles_per_second": generic_cps,
+        "codegen_cycles_per_second": codegen_cps,
+        "speedup": round(codegen_cps / generic_cps, 3),
+        "deopts": deopts,
+        "bit_identical": True,
+    }
+
+
+def test_codegen_speedup(tmp_path):
+    # --- interleaved A/B -------------------------------------------------
+    ab = {
+        name: _ab_config(name, benches, mapping)
+        for name, benches, mapping in AB_CONFIGS
+    }
+
+    # --- perf-gate reference (always, fixed scale, generic engine) -------
+    from repro.experiments.performance import (
+        clear_result_cache,
+        run_performance_experiment,
+    )
+    from repro.experiments.scale import ExperimentScale
+
+    def single_sim(config_name, mapping, commit_target, rounds=5):
+        cfg = get_config(config_name)
+        traces = [trace_for(b, 6000)
+                  for b in ("gzip", "twolf", "bzip2", "mcf")]
+        best = None
+        cycles = 0
+        for _ in range(rounds):
+            p = Processor(cfg, traces, mapping, commit_target=commit_target)
+            p.warm()
+            t0 = time.perf_counter()
+            p.run()
+            dt = time.perf_counter() - t0
+            cycles = p.cycle
+            if best is None or dt < best:
+                best = dt
+        return round(cycles / best)
+
+    gate_scale = ExperimentScale(**SWEEP_SCALE).scaled(GATE_SCALE)
+    gate_times = []
+    for _ in range(2):
+        clear_result_cache()
+        clear_trace_cache()
+        clear_warm_cache()
+        runner = BatchRunner(workers=GATE_WORKERS,
+                             trace_store=tmp_path / "gate-store")
+        t0 = time.perf_counter()
+        run_performance_experiment(SWEEP_CONFIGS, SWEEP_WORKLOADS,
+                                   gate_scale, runner=runner,
+                                   screening=True)
+        gate_times.append(time.perf_counter() - t0)
+        assert not runner.report.eventful  # a healthy gate run needs no rescue
+        runner.close()
+    gate_cps = {
+        "2M4+2M2": single_sim("2M4+2M2", (0, 2, 1, 3), GATE_SINGLE_TARGET),
+        "M8": single_sim("M8", (0, 0, 0, 0), GATE_SINGLE_TARGET),
+    }
+
+    snapshot = {
+        "benchmark": "test_codegen_speedup",
+        "seed_cycles_per_second": seed_baseline_cycles_per_second(),
+        "codegen_ab": {
+            "commit_target": AB_TARGET,
+            "rounds": AB_ROUNDS,
+            "configs": ab,
+            "note": (
+                "same-session interleaved A/B (arm order alternates "
+                "every round, best-of rates): generic scheduling loop "
+                "vs the generated fused cycle loop, identical traces "
+                "and statistics asserted every round; deopts name the "
+                "guard that aborted the specialized loop (M8's FLUSH "
+                "policy deopts on the first flush by design)"
+            ),
+        },
+        "perf_gate": {
+            "scale": GATE_SCALE,
+            "workers": GATE_WORKERS,
+            # Machine class of the recording host: the gate only enforces
+            # against a baseline recorded on the same class (a different
+            # class downgrades the run to record-only).
+            "machine": (
+                f"{platform.system()}-{platform.machine()}"
+                f"-cpu{os.cpu_count()}"
+            ),
+            "single_sim_commit_target": GATE_SINGLE_TARGET,
+            "cycles_per_second": gate_cps,
+            "sweep_seconds_best": round(min(gate_times), 3),
+            "sweep_seconds_all": [round(t, 3) for t in gate_times],
+            "note": (
+                "fixed-scale same-machine reference for "
+                "benchmarks/perf_gate.py; the CI lane fails on >25% "
+                "regression of cycles/sec or sweep wall clock vs the "
+                "latest committed BENCH_000N baseline — sweep and "
+                "single-sims run the default (generic) engine, so the "
+                "gate keeps measuring what production runs use"
+            ),
+        },
+    }
+
+    # Merge, never clobber: other benches may extend this snapshot later.
+    merged = {}
+    if CODEGEN_SNAPSHOT.exists():
+        try:
+            merged = json.loads(CODEGEN_SNAPSHOT.read_text())
+        except ValueError:
+            merged = {}
+    merged.update(snapshot)
+    CODEGEN_SNAPSHOT.write_text(json.dumps(merged, indent=2) + "\n")
+
+    for name, rec in ab.items():
+        print(f"\n[codegen A/B] {name}: generic "
+              f"{rec['generic_cycles_per_second']:,} c/s, codegen "
+              f"{rec['codegen_cycles_per_second']:,} c/s "
+              f"(x{rec['speedup']}, deopts {rec['deopts'] or 'none'})")
+    print(f"\n[perf-gate ref] sweep best {min(gate_times):.2f} s @scale "
+          f"{GATE_SCALE}, single-sim {gate_cps} [saved to "
+          f"{CODEGEN_SNAPSHOT}]")
+
+    # Catastrophic-regression tripwires (machine-portable): the hdSMT
+    # configs must run fully specialized, and specialization must never
+    # cost throughput beyond round-to-round noise on any config.
+    for name, _, _ in AB_CONFIGS[:2]:
+        assert ab[name]["deopts"] == {}, (name, ab[name])
+    for name, rec in ab.items():
+        assert rec["speedup"] > 0.8, (name, rec)
+    seed_cps = seed_baseline_cycles_per_second()
+    assert gate_cps["2M4+2M2"] > 0.2 * seed_cps, (gate_cps, seed_cps)
+    assert gate_cps["M8"] > 0.2 * seed_cps, (gate_cps, seed_cps)

@@ -16,11 +16,13 @@ economics against a real ``repro serve`` daemon over a unix socket:
   response byte-identical.
 
 The snapshot also carries the standard **perf-gate reference** section
-(fixed ``GATE_SCALE``, same shape and methodology as BENCH_0007's;
-``benchmarks/perf_gate.py`` treats this snapshot as the fresh gate
-source — the gate sweep runs the local supervised path, so it keeps
-measuring the engine, not the service).  Sections written by other
-benches are preserved — merge, never clobber.
+(fixed ``GATE_SCALE``, same shape and methodology as BENCH_0007's; the
+gate sweep runs the local supervised path, so it keeps measuring the
+engine, not the service).  Since PR 9 ``benchmarks/perf_gate.py`` reads
+its *fresh* gate reference from ``BENCH_0009.json``
+(``test_codegen_speedup``); this section remains the committed
+historical record.  Sections written by other benches are preserved —
+merge, never clobber.
 """
 
 import json

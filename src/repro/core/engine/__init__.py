@@ -55,7 +55,15 @@ once at construction through the registry in
 * :mod:`~repro.core.engine.warm` — the vectorized warm pass, the
   process-wide memo and the on-disk snapshot store;
 * :mod:`~repro.core.engine.stages` — fetch/rename/issue/writeback/commit
-  implementations plus the (mono, SMT) stage registry;
+  implementations plus the public stage-variant API
+  (``register_stage_variant`` / ``stage_set_for``) hosting the built-in
+  (mono, SMT) variants;
+* :mod:`~repro.core.engine.options` — the typed
+  :class:`~repro.core.engine.options.EngineOptions` tuning knobs
+  (numpy decode, codegen opt-in; env vars remain the fallback);
+* :mod:`~repro.core.engine.codegen` — per-config specialized stage and
+  cycle-loop generation (opt-in, bit-identical, deopts to the generic
+  engine on rare paths);
 * :mod:`~repro.core.engine.engine` — the
   :class:`~repro.core.engine.engine.Processor` shell composing a stage
   tuple and owning the ``run()``/``step()`` scheduling loop.
@@ -66,10 +74,19 @@ keep working unchanged.
 """
 
 from repro.core.engine.engine import Processor
+from repro.core.engine.options import (
+    EngineOptions,
+    default_engine_options,
+    engine_options_for,
+    engine_variant_id,
+    set_engine_options,
+)
 from repro.core.engine.stages import (
     STAGE_REGISTRY,
     STAGE_SETS,
     StageSet,
+    register_stage_variant,
+    registered_variants,
     stage_set_for,
     stage_variant_for,
 )
@@ -103,8 +120,15 @@ __all__ = [
     "StageSet",
     "STAGE_REGISTRY",
     "STAGE_SETS",
+    "register_stage_variant",
+    "registered_variants",
     "stage_set_for",
     "stage_variant_for",
+    "EngineOptions",
+    "default_engine_options",
+    "set_engine_options",
+    "engine_options_for",
+    "engine_variant_id",
     "S_FREE",
     "S_WAITING",
     "S_READY",

@@ -1,0 +1,183 @@
+"""Per-config specialized cycle-loop codegen (the ``codegen`` variant).
+
+Given a configuration and its resolved stage set, this package emits
+one fused Python cycle-loop function with the config's constants
+(fetch/issue widths, FU counts via the folded stages, pipeline count,
+thread count, ROB size, wheel mask, policy kind) folded into the source
+as literals, the per-cycle stage-call sequence collapsed into a single
+function body, and every rare path — pipeline flush, out-of-horizon
+timing-wheel events, warm-restore boundaries, entry-time shape
+mismatches — guarded by cheap checks that abort to the generic engine
+mid-run with state intact (speculate/guard/commit, never silently
+divergent; see :meth:`Processor._codegen_deopt`). The deopt is one-way
+for the remainder of that ``run()`` call; per-reason counts live in
+``proc.codegen_deopts`` (diagnostics only — never in ``SimResult``
+stats, which stay bit-identical across variants).
+
+The package plugs into the public variant API of
+:mod:`repro.core.engine.stages` exactly like the built-in (mono, SMT)
+variants: importing it registers the ``"codegen"`` variant (highest
+priority, selected only when ``EngineOptions.codegen`` /
+``REPRO_CODEGEN=1`` opts in), and its registry entries are the
+dispatcher stages below — so the stage-registry lockstep suite
+differentially verifies generated-vs-generic for free.
+
+Compiled engines are cached per :class:`EngineSpec` (module-wide): two
+processors of the same shape share one compiled engine, and
+:data:`compile_count` says how many distinct shapes were compiled.
+Set ``REPRO_CODEGEN_DUMP=<dir>`` to write every generated source to
+disk as it is compiled (the CI lane's failure artifact).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List
+
+from repro.core.engine.codegen.generator import (
+    CompiledEngine,
+    EngineSpec,
+    compile_engine,
+    fold_stage_source,
+    generate_cycle_loop,
+    spec_for,
+    spec_token,
+)
+from repro.core.engine.options import engine_options_for
+from repro.core.engine.stages import StageSet, register_stage_variant
+
+__all__ = [
+    "EngineSpec",
+    "CompiledEngine",
+    "spec_for",
+    "spec_token",
+    "fold_stage_source",
+    "generate_cycle_loop",
+    "compile_engine",
+    "engine_for_spec",
+    "attach_engine",
+    "clear_codegen_cache",
+    "dump_sources",
+    "codegen_fetch",
+    "codegen_issue",
+    "codegen_commit",
+    "codegen_setup",
+    "CODEGEN_SET",
+]
+
+#: spec -> compiled engine (process-wide; compiled functions are pure
+#: in ``self``, so sharing across processors is safe).
+_ENGINES: Dict[EngineSpec, CompiledEngine] = {}
+
+#: Number of distinct specs compiled since the last cache clear (the
+#: codegen-cache reuse test pins "same config -> compiled once").
+compile_count = 0
+
+
+def engine_for_spec(spec: EngineSpec) -> CompiledEngine:
+    """The compiled engine for ``spec`` (cached)."""
+    global compile_count
+    eng = _ENGINES.get(spec)
+    if eng is None:
+        eng = compile_engine(spec)
+        compile_count += 1
+        _ENGINES[spec] = eng
+        directory = os.environ.get("REPRO_CODEGEN_DUMP")
+        if directory:
+            dump_sources(eng, directory)
+    return eng
+
+
+def clear_codegen_cache() -> None:
+    """Drop compiled engines and reset the compile counter (tests)."""
+    global compile_count
+    _ENGINES.clear()
+    compile_count = 0
+
+
+def dump_sources(engine: CompiledEngine, directory: str | os.PathLike) -> List[Path]:
+    """Write every generated source of ``engine`` under ``directory``
+    (``<token>__<name>.py``); returns the written paths."""
+    out = Path(directory)
+    out.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, src in sorted(engine.sources.items()):
+        path = out / f"{engine.token}__{name}.py"
+        path.write_text(src)
+        written.append(path)
+    return written
+
+
+def attach_engine(proc) -> CompiledEngine:
+    """Compile (or fetch from cache) the engine for ``proc``'s shape and
+    remember it on the instance."""
+    eng = engine_for_spec(spec_for(proc))
+    proc._codegen_engine = eng
+    return eng
+
+
+# -- registry dispatchers ---------------------------------------------------
+# The registry holds *config-independent* representatives; these bind
+# lazily to the processor's compiled engine on first call, so the
+# lockstep suite can splice them onto any processor (exactly like the
+# mono/smt entries) without going through the constructor's setup hook.
+
+
+def codegen_fetch(self) -> None:
+    eng = getattr(self, "_codegen_engine", None)
+    if eng is None:
+        eng = attach_engine(self)
+    eng.fetch(self)
+
+
+def codegen_issue(self) -> None:
+    eng = getattr(self, "_codegen_engine", None)
+    if eng is None:
+        eng = attach_engine(self)
+    eng.issue(self)
+
+
+def codegen_commit(self) -> None:
+    eng = getattr(self, "_codegen_engine", None)
+    if eng is None:
+        eng = attach_engine(self)
+    eng.commit(self)
+
+
+def codegen_setup(proc) -> None:
+    """The variant's construction hook: bind the compiled stages and the
+    fused cycle loop directly (no per-call dispatcher indirection), and
+    arm the deopt counters."""
+    eng = attach_engine(proc)
+    proc._fetch_impl = eng.fetch.__get__(proc)
+    proc._issue_impl = eng.issue.__get__(proc)
+    proc._commit_impl = eng.commit.__get__(proc)
+    if eng.issue_pipeline is not None:
+        # The folded issue_all dispatches per pipeline through
+        # ``self._issue``; point it at the folded body.
+        proc._issue = eng.issue_pipeline.__get__(proc)
+    if proc.codegen_deopts is None:
+        proc.codegen_deopts = {}
+    proc._run_impl = eng.cycle_loop.__get__(proc)
+
+
+CODEGEN_SET = StageSet(
+    fetch=codegen_fetch,
+    issue=codegen_issue,
+    commit=codegen_commit,
+    name="codegen",
+    setup=codegen_setup,
+)
+
+
+def _codegen_opted_in(cfg) -> bool:
+    return cfg is not None and engine_options_for(cfg).codegen
+
+
+register_stage_variant(
+    "codegen",
+    predicate=_codegen_opted_in,
+    factory=lambda cfg: CODEGEN_SET,
+    priority=20,
+)

@@ -1,0 +1,331 @@
+"""Source generation for per-config specialized engines.
+
+Two kinds of artifacts are generated per :class:`EngineSpec` (the
+construction-time constants of one processor shape):
+
+* **Folded stage sources** — the *real* generic/mono stage functions
+  (:mod:`repro.core.engine.stages`) are re-emitted with every
+  construction-time invariant substituted as a literal
+  (``self.rob_entries`` → ``256``, ``self._policy_kind`` → ``2``,
+  ``self.policy.flushing`` → ``False``, ...). Transforming the live
+  source (``inspect.getsource`` + word-bounded substitution) instead of
+  maintaining parallel templates means the specialized bodies can never
+  drift from the generic ones: any edit to a stage is picked up at the
+  next compile, and the lockstep suite re-verifies bit-identity.
+
+* **The fused cycle loop** — ``run()``'s scheduling loop re-emitted for
+  one configuration: widths/counts/masks as literals, the per-thread
+  and per-pipeline scans unrolled, and every *rare* path (pipeline
+  flush, out-of-horizon timing-wheel events, warm-restore boundaries,
+  any entry-time shape mismatch) replaced by a cheap guard that aborts
+  to the generic engine mid-run with state intact
+  (``Processor._codegen_deopt``) — speculate/guard/commit, never
+  silently divergent. Guards sit at the top of the loop, *between*
+  cycles, where the machine state is always consistent.
+
+Substituted attributes are construction-time invariants of the engine
+(hoisted in ``Processor.__init__`` and never reassigned); the guards
+cover everything else the loop speculates on.
+"""
+
+from __future__ import annotations
+
+import inspect
+import re
+import textwrap
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.core.engine.stages.commit import commit, commit_mono
+from repro.core.engine.stages.fetch import fetch, fetch_mono
+from repro.core.engine.stages.issue import issue_all, issue_mono, issue_pipeline
+
+__all__ = [
+    "EngineSpec",
+    "CompiledEngine",
+    "spec_for",
+    "spec_token",
+    "fold_stage_source",
+    "generate_cycle_loop",
+    "compile_engine",
+]
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """The construction-time constants one specialized engine is built
+    for. Hashable — the compile cache is keyed on it, so every
+    processor of the same shape shares one compiled engine."""
+
+    num_threads: int
+    num_pipes: int  #: ``len(active_pipes)`` (pipelines hosting threads)
+    rob_entries: int
+    wheel_mask: int
+    fetch_width: int
+    fetch_threads: int
+    extra_reg: int
+    l1_lat: int
+    flush_thr: int
+    policy_kind: int
+    flushing: bool
+    monolithic: bool
+
+
+def spec_for(proc) -> EngineSpec:
+    """The spec of a live processor (the constants ``__init__`` hoisted)."""
+    return EngineSpec(
+        num_threads=proc.num_threads,
+        num_pipes=len(proc.active_pipes),
+        rob_entries=proc.rob_entries,
+        wheel_mask=proc._wheel_mask,
+        fetch_width=proc._fetch_width,
+        fetch_threads=proc._fetch_threads,
+        extra_reg=proc._extra_reg,
+        l1_lat=proc._l1_lat,
+        flush_thr=proc._flush_thr,
+        policy_kind=proc._policy_kind,
+        flushing=bool(proc.policy.flushing),
+        monolithic=proc.config.is_monolithic,
+    )
+
+
+def spec_token(spec: EngineSpec) -> str:
+    """A filename/identifier-safe name for one spec."""
+    return (
+        f"t{spec.num_threads}_p{spec.num_pipes}_r{spec.rob_entries}"
+        f"_w{spec.wheel_mask + 1}_fw{spec.fetch_width}"
+        f"_ft{spec.fetch_threads}_x{spec.extra_reg}_l{spec.l1_lat}"
+        f"_fl{spec.flush_thr}_pk{spec.policy_kind}"
+        f"_{'flush' if spec.flushing else 'noflush'}"
+        f"_{'mono' if spec.monolithic else 'smt'}"
+    )
+
+
+#: Attribute -> spec field: the construction-time invariants folded into
+#: the stage sources as literals. Word-bounded, so e.g. the
+#: ``self.rob_entries`` substitution can never touch ``self.rob_entry``
+#: and ``self._fetch_threads`` never touches ``self._fetch_thread``.
+_STAGE_FOLDS = (
+    ("self.num_threads", "num_threads"),
+    ("self.rob_entries", "rob_entries"),
+    ("self._wheel_mask", "wheel_mask"),
+    ("self._fetch_width", "fetch_width"),
+    ("self._fetch_threads", "fetch_threads"),
+    ("self._extra_reg", "extra_reg"),
+    ("self._l1_lat", "l1_lat"),
+    ("self._flush_thr", "flush_thr"),
+    ("self._policy_kind", "policy_kind"),
+)
+
+
+def fold_stage_source(fn: Callable, spec: EngineSpec) -> str:
+    """The source of stage function ``fn`` with every spec constant
+    substituted as a literal."""
+    src = textwrap.dedent(inspect.getsource(fn))
+    for attr, field_name in _STAGE_FOLDS:
+        src = re.sub(
+            re.escape(attr) + r"\b", str(getattr(spec, field_name)), src
+        )
+    src = re.sub(r"self\.policy\.flushing\b", str(spec.flushing), src)
+    return src
+
+
+def _compile_stage(fn: Callable, spec: EngineSpec, token: str) -> Callable:
+    """exec the folded source against the original module's globals (the
+    stage's imports — heapq, opcodes, state constants — resolve to the
+    very same objects the generic stage uses)."""
+    src = fold_stage_source(fn, spec)
+    name = fn.__name__
+    namespace = dict(fn.__globals__)
+    code = compile(src, f"<codegen:{name}@{token}>", "exec")
+    exec(code, namespace)
+    out = namespace[name]
+    out.__name__ = f"{name}__{token}"
+    out.__qualname__ = out.__name__
+    return out
+
+
+def generate_cycle_loop(spec: EngineSpec) -> str:
+    """The fused, specialized scheduling loop for one spec.
+
+    Structure and stage order are exactly ``Processor._generic_run``'s;
+    the differences are (a) literals for every constant, (b) the
+    per-thread/per-pipeline scans unrolled, and (c) the guard block at
+    the top of each iteration: out-of-horizon events, pipeline
+    flush-waits and warm restores — all rare, all invalidating the
+    loop's speculation — abort to the generic engine. Guards run
+    between cycles, so the state handed over is always consistent;
+    anything a stage changes *mid*-cycle (a flush raised in writeback,
+    a far event scheduled at issue) is only consulted by later cycles,
+    which the next iteration's guards reach first.
+    """
+    n = spec.num_threads
+    p = spec.num_pipes
+    mask = spec.wheel_mask
+    size = mask + 1
+    pipe_binds = "\n".join(f"    pl{i} = active[{i}]" for i in range(p))
+    flush_guard = " or ".join(f"flush_wait[{t}]" for t in range(n))
+    if spec.flushing:
+        # FLUSH policy: writeback can raise flush_wait any cycle, so the
+        # guard must run per iteration.
+        flush_entry_guard = ""
+        flush_cycle_guard = (
+            f"        if {flush_guard}:\n"
+            '            return self._codegen_deopt("flush", max_cycles)\n'
+        )
+    else:
+        # Non-flushing policy: nothing ever schedules EV_FLUSHCHK (the
+        # only path raising flush_wait), and the entry guard pinned
+        # flushing=False — so one entry-time check replaces the
+        # per-cycle flush guard.
+        flush_entry_guard = (
+            f"    if {flush_guard}:\n"
+            '        return self._codegen_deopt("flush", max_cycles)\n'
+        )
+        flush_cycle_guard = ""
+    stall_idle = " and ".join(f"cyc < stall[{t}]" for t in range(n))
+    empty_bufs = " and ".join(f"not pl{i}.buffer" for i in range(p))
+    stall_wake = "\n".join(
+        f"                s = stall[{t}]\n"
+        f"                if cyc < s < wake:\n"
+        f"                    wake = s"
+        for t in range(n)
+    )
+    rename_calls = "\n".join(
+        f"        if pl{i}.buffer and pl{i}.blocked_epoch != free_epoch:\n"
+        f"            rename_stage(pl{i})"
+        for i in range(p)
+    )
+    return f'''\
+def cycle_loop(self, max_cycles):
+    """Generated cycle loop, specialized for {spec_token(spec)}."""
+    # --- entry guard: revalidate every folded constant; any mismatch
+    # (wrong processor shape) deopts before touching state.
+    if (
+        self.num_threads != {n}
+        or self.rob_entries != {spec.rob_entries}
+        or self._wheel_mask != {mask}
+        or len(self.active_pipes) != {p}
+        or self._policy_kind != {spec.policy_kind}
+        or self._fetch_width != {spec.fetch_width}
+        or self._fetch_threads != {spec.fetch_threads}
+        or self._extra_reg != {spec.extra_reg}
+        or self._l1_lat != {spec.l1_lat}
+        or self._flush_thr != {spec.flush_thr}
+        or bool(self.policy.flushing) != {spec.flushing}
+    ):
+        return self._codegen_deopt("entry", max_cycles)
+    wheel = self._wheel
+    flush_wait = self.flush_wait
+    stall = self.fetch_stall_until
+    active = self.active_pipes
+{pipe_binds}
+    commit_stage = self._commit_impl
+    writeback_stage = self._writeback
+    issue_stage = self._issue_impl
+    rename_stage = self._rename
+    fetch_stage = self._fetch_impl
+    # The far-events overflow dict is bound once in __init__ and only
+    # ever mutated in place, so the guard can test the local alias.
+    far = self._far_events
+    spec_epoch = self._spec_epoch
+{flush_entry_guard}    while not self.finished:
+        cyc = self.cycle
+        if cyc >= max_cycles:
+            break
+        # --- speculation guards (rare paths; state is consistent
+        # between cycles, so aborting here hands over mid-run) --------
+        if far:
+            return self._codegen_deopt("far", max_cycles)
+{flush_cycle_guard}        if self._spec_epoch != spec_epoch:
+            return self._codegen_deopt("warm", max_cycles)
+        # --- idle-cycle fast path (no far events, no flush-waits:
+        # both guarded above, so their terms are gone) -----------------
+        if (
+            self._ready_count == 0
+            and self._commitable == 0
+            and not wheel[cyc & {mask}]
+        ):
+            if ({stall_idle}) and ({empty_bufs}):
+                wake = max_cycles
+                for d in range(1, {size}):
+                    if wheel[(cyc + d) & {mask}]:
+                        if cyc + d < wake:
+                            wake = cyc + d
+                        break
+{stall_wake}
+                if wake <= cyc:
+                    wake = cyc + 1
+                self._commit_rotor += wake - cyc
+                self.cycle = wake
+                continue
+        # --- one cycle (same stage order as the generic loop) ---------
+        if self._commitable:
+            commit_stage()
+        else:
+            self._commit_rotor += 1
+        if wheel[cyc & {mask}]:
+            writeback_stage()
+        if self._ready_count:
+            issue_stage()
+        free_epoch = self._free_epoch
+{rename_calls}
+        fetch_stage()
+        self.cycle = cyc + 1
+    return self.cycle
+'''
+
+
+@dataclass(frozen=True)
+class CompiledEngine:
+    """One compiled specialized engine (shared by every processor of
+    the same spec; the functions are pure in ``self``)."""
+
+    spec: EngineSpec
+    token: str
+    fetch: Callable
+    issue: Callable
+    commit: Callable
+    #: folded per-pipeline issue body (None for monolithic specs, whose
+    #: ``issue`` is the collapsed mono stage and never dispatches)
+    issue_pipeline: Optional[Callable]
+    cycle_loop: Callable
+    #: name -> generated source (dumped for CI artifacts / debugging)
+    sources: Dict[str, str]
+
+
+def compile_engine(spec: EngineSpec) -> CompiledEngine:
+    """Fold, generate and compile the full engine for one spec."""
+    token = spec_token(spec)
+    if spec.monolithic:
+        stage_fns = {"fetch": fetch_mono, "issue": issue_mono, "commit": commit_mono}
+    else:
+        stage_fns = {
+            "fetch": fetch,
+            "issue": issue_all,
+            "commit": commit,
+            "issue_pipeline": issue_pipeline,
+        }
+    compiled = {
+        name: _compile_stage(fn, spec, token) for name, fn in stage_fns.items()
+    }
+    sources = {
+        name: fold_stage_source(fn, spec) for name, fn in stage_fns.items()
+    }
+    loop_src = generate_cycle_loop(spec)
+    sources["cycle_loop"] = loop_src
+    namespace: Dict[str, Callable] = {}
+    exec(compile(loop_src, f"<codegen:cycle_loop@{token}>", "exec"), namespace)
+    loop_fn = namespace["cycle_loop"]
+    loop_fn.__name__ = f"cycle_loop__{token}"
+    loop_fn.__qualname__ = loop_fn.__name__
+    return CompiledEngine(
+        spec=spec,
+        token=token,
+        fetch=compiled["fetch"],
+        issue=compiled["issue"],
+        commit=compiled["commit"],
+        issue_pipeline=compiled.get("issue_pipeline"),
+        cycle_loop=loop_fn,
+        sources=sources,
+    )

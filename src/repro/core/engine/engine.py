@@ -268,20 +268,38 @@ class Processor:
         self._commit_rotor = 0
         self._warmed = False
 
+        # --- speculation bookkeeping (codegen variant) -------------------
+        #: bumped whenever warm state is (re)loaded into a live machine;
+        #: the generated cycle loop guards on it so a warm-restore
+        #: boundary deoptimizes to the generic engine (state intact).
+        self._spec_epoch = 0
+        #: per-reason deopt counters (diagnostics only — never part of
+        #: SimResult stats, which must stay bit-identical across
+        #: variants). Populated by the codegen setup hook / first deopt.
+        self.codegen_deopts: Optional[Dict[str, int]] = None
+
         # --- stage composition -------------------------------------------
-        # The registry selects the stage variants once, at construction:
-        # monolithic configurations (the M8 baseline — a fixed ~15% of
-        # every sweep that only responds to engine gains) run specialized
+        # The variant registry selects the stage set once, at
+        # construction (see repro.core.engine.stages): monolithic
+        # configurations (the M8 baseline — a fixed ~15% of every sweep
+        # that only responds to engine gains) run specialized
         # single-pipeline commit/issue/fetch stages (one shared decoupling
         # buffer, no per-thread pipeline indirection, no outer pipeline
         # loops — provably the same work in the same order, so results
         # are bit-identical, pinned by the golden-equivalence suite and
-        # the registry lockstep test). run()/step() call through the
-        # composed implementations with no per-call dispatch.
+        # the registry lockstep test); configurations opted into codegen
+        # get generated per-config specializations the same way.
+        # run()/step() call through the composed implementations with no
+        # per-call dispatch.
         stages = stage_set_for(config)
         self._commit_impl = stages.commit.__get__(self)
         self._fetch_impl = stages.fetch.__get__(self)
         self._issue_impl = stages.issue.__get__(self)
+        #: the cycle loop run() drives: the generic one unless a variant's
+        #: setup hook installs a specialized replacement.
+        self._run_impl = self._generic_run
+        if stages.setup is not None:
+            stages.setup(self)
 
     # ------------------------------------------------- compatibility views
 
@@ -355,14 +373,39 @@ class Processor:
         """Simulate until a thread reaches the commit target (or the cycle
         cap, a safety net). Returns the cycle count.
 
+        Dispatches to the composed cycle loop: the generic
+        :meth:`_generic_run` unless the variant's setup hook installed a
+        specialized one (the codegen variant's generated loop, which
+        deoptimizes back to :meth:`_generic_run` on its guard paths).
+        """
+        if max_cycles is None:
+            max_cycles = 400 * self.commit_target + 10_000
+        return self._run_impl(max_cycles)
+
+    def _codegen_deopt(self, reason: str, max_cycles: int) -> int:
+        """Abort a specialized cycle loop to the generic engine.
+
+        Guards fire only *between* cycles, where the machine state is
+        always consistent, so the generic loop resumes mid-run with
+        state intact — speculate/guard/commit, never silently
+        divergent. One-way for the rest of this run (the counters say
+        why); the next ``run()`` call re-enters the specialized loop.
+        """
+        deopts = self.codegen_deopts
+        if deopts is None:
+            deopts = self.codegen_deopts = {}
+        deopts[reason] = deopts.get(reason, 0) + 1
+        return self._generic_run(max_cycles)
+
+    def _generic_run(self, max_cycles: int) -> int:
+        """The generic scheduling loop (any configuration, any state).
+
         Idle cycles — no event due, nothing ready to issue, nothing to
         commit, rename or fetch — are skipped in O(1): the clock jumps to
         the next scheduled event or fetch-stall expiry. The jump is
         clamped to ``max_cycles`` so skipping can never overshoot the
         safety cap.
         """
-        if max_cycles is None:
-            max_cycles = 400 * self.commit_target + 10_000
         wheel = self._wheel
         mask = self._wheel_mask
         size = mask + 1

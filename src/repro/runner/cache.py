@@ -22,6 +22,7 @@ from hashlib import sha256
 from pathlib import Path
 from typing import Optional
 
+from repro.core.engine.options import engine_options_for, engine_variant_id
 from repro.core.simulation import SimResult
 from repro.ioutil import atomic_write_bytes
 from repro.trace.packed import PACK_FORMAT_VERSION
@@ -125,17 +126,26 @@ class ResultCache:
         ``cache_key_fields()`` (see :mod:`repro.runner.jobs`) — for a
         :class:`~repro.runner.jobs.SimJob` that is byte-identical to the
         legacy field set, so existing cache entries keep hitting. All
-        keys are salted with the engine and packed-trace format versions.
+        keys are salted with the engine and packed-trace format
+        versions, plus — whenever a non-generic engine variant (the
+        codegen specialization) would execute the job — that variant's
+        identity. Specialized and generic runs are bit-identical by
+        contract, but the cache must not be able to *mask* a
+        specialization bug by serving one variant's stale entry to the
+        other; generic runs keep the legacy key bytes, so existing
+        caches keep hitting.
         """
         fields = job.cache_key_fields()
-        desc = json.dumps(
-            {
-                "engine": ENGINE_VERSION,
-                "trace_format": PACK_FORMAT_VERSION,
-                **fields,
-            },
-            sort_keys=True,
+        salts = {
+            "engine": ENGINE_VERSION,
+            "trace_format": PACK_FORMAT_VERSION,
+        }
+        variant = engine_variant_id(
+            engine_options_for(getattr(job, "config", None))
         )
+        if variant != "generic":
+            salts["engine_variant"] = variant
+        desc = json.dumps({**salts, **fields}, sort_keys=True)
         return sha256(desc.encode()).hexdigest()
 
     def _path(self, key: str) -> Path:

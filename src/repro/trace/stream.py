@@ -83,7 +83,13 @@ _NUMPY_DECODE = _np is not None and os.environ.get("REPRO_NUMPY_DECODE") == "1"
 def set_numpy_decode(enabled: bool) -> bool:
     """Select (True) or deselect the numpy block-decode path; returns the
     resulting state (False when numpy is unavailable — the pure-python
-    path is the permanent fallback)."""
+    path is the permanent fallback).
+
+    Prefer the typed switchboard —
+    ``repro.core.engine.options.set_engine_options(EngineOptions(
+    numpy_decode=True))`` — which calls this; the env var and this
+    setter remain as the low-level fallback spelling.
+    """
     global _NUMPY_DECODE
     _NUMPY_DECODE = bool(enabled) and _np is not None
     return _NUMPY_DECODE

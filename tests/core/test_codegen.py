@@ -1,0 +1,201 @@
+"""The codegen engine: generation, caching, binding and bit-identity.
+
+The deopt *paths* (flush storm, far event, warm restore) are covered by
+the lockstep property suite in
+``tests/properties/test_codegen_deopt_lockstep.py``; this module pins
+the machinery around them: spec extraction, constant folding into the
+generated sources, the compile cache (same config -> same source,
+compiled once), the constructor's setup hook, source dumping, and
+whole-run bit-identity against the generic engine.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+import repro.core.engine.codegen as codegen
+from repro.core.config import get_config
+from repro.core.engine.options import EngineOptions
+from repro.core.processor import Processor
+from repro.trace.stream import trace_for
+
+CODEGEN_ON = EngineOptions(codegen=True)
+CODEGEN_OFF = EngineOptions(codegen=False)
+
+
+def _traces(benches, length=1500):
+    seen = {}
+    out = []
+    for b in benches:
+        inst = seen.get(b, 0)
+        seen[b] = inst + 1
+        out.append(trace_for(b, length, instance=inst))
+    return out
+
+
+def _proc(name, benches, mapping, target=400, options=CODEGEN_ON):
+    cfg = replace(get_config(name), engine_options=options)
+    return Processor(cfg, _traces(benches), mapping, target)
+
+
+def _final_state(proc):
+    return (
+        proc.cycle,
+        proc.finished,
+        tuple(proc.committed),
+        tuple(pl.issued_total for pl in proc.pipelines),
+        tuple(proc.stat_mispredicts),
+        tuple(proc.stat_flushes),
+        tuple(proc.stat_squashed),
+        tuple(proc.stat_fetched),
+        tuple(proc.stat_wrongpath_fetched),
+        proc.stat_icache_stalls,
+        proc.stat_btb_bubbles,
+        proc.aggregate_ipc(),
+    )
+
+
+def test_same_config_compiles_once_and_shares_engine():
+    codegen.clear_codegen_cache()
+    a = _proc("2M4+2M2", ("gzip", "twolf"), (0, 2))
+    assert codegen.compile_count == 1
+    b = _proc("2M4+2M2", ("gcc", "mcf"), (0, 2))
+    assert codegen.compile_count == 1  # same shape: cache hit
+    assert a._codegen_engine is b._codegen_engine
+    # Same config -> same generated source, deterministically.
+    eng = a._codegen_engine
+    assert eng.sources == codegen.compile_engine(eng.spec).sources
+    # A different shape compiles separately.
+    _proc("M8", ("gzip", "twolf"), (0, 0))
+    assert codegen.compile_count == 2
+
+
+def test_spec_captures_construction_constants():
+    proc = _proc("2M4+2M2", ("gzip", "twolf"), (0, 2))
+    spec = codegen.spec_for(proc)
+    assert spec.num_threads == 2
+    assert spec.num_pipes == 2  # only pipelines hosting threads
+    assert spec.rob_entries == proc.rob_entries
+    assert spec.wheel_mask == proc._wheel_mask
+    assert spec.flushing is False and spec.monolithic is False
+    mono = _proc("M8", ("gzip", "twolf"), (0, 0))
+    mspec = codegen.spec_for(mono)
+    assert mspec.flushing is True and mspec.monolithic is True
+
+
+def test_generated_sources_fold_constants_to_literals():
+    proc = _proc("2M4+2M2", ("gzip", "twolf"), (0, 2))
+    eng = proc._codegen_engine
+    for name in ("fetch", "issue_pipeline", "commit"):
+        src = eng.sources[name]
+        for attr in (
+            "self.rob_entries",
+            "self._wheel_mask",
+            "self._fetch_width",
+            "self._fetch_threads",
+            "self._extra_reg",
+            "self._l1_lat",
+            "self._flush_thr",
+            "self._policy_kind",
+            "self.policy.flushing",
+        ):
+            assert attr not in src, f"{attr} left unfolded in {name}"
+    # The cycle loop re-reads those attributes exactly once — in the
+    # entry guard that revalidates the folded constants; its body runs
+    # on literals.
+    loop_src = eng.sources["cycle_loop"]
+    guard, _, body = loop_src.partition('return self._codegen_deopt("entry"')
+    assert f"self.rob_entries != {proc.rob_entries}" in guard
+    assert "self.rob_entries" not in body
+    assert "self._wheel_mask" not in body
+    assert f"not wheel[cyc & {proc._wheel_mask}]" in body
+    assert f"r = {proc.rob_entries}" in eng.sources["issue_pipeline"]
+    assert "flushing = False" in eng.sources["issue_pipeline"]
+    # The word-bounded substitution must not corrupt neighbours of the
+    # folded names.
+    assert "self._fetch_thread" in eng.sources["fetch"]
+    assert "self.rob_head" in eng.sources["commit"]
+
+
+def test_setup_hook_binds_compiled_engine():
+    proc = _proc("2M4+2M2", ("gzip", "twolf"), (0, 2))
+    eng = proc._codegen_engine
+    assert proc._run_impl.__func__ is eng.cycle_loop
+    assert proc._fetch_impl.__func__ is eng.fetch
+    assert proc._issue_impl.__func__ is eng.issue
+    assert proc._commit_impl.__func__ is eng.commit
+    assert proc._issue.__func__ is eng.issue_pipeline
+    assert proc.codegen_deopts == {}
+    generic = _proc("2M4+2M2", ("gzip", "twolf"), (0, 2), options=CODEGEN_OFF)
+    assert generic._run_impl.__func__ is Processor._generic_run
+    assert not hasattr(generic, "_codegen_engine")
+
+
+@pytest.mark.parametrize(
+    "name,benches,mapping",
+    [
+        ("M8", ("mcf", "twolf"), (0, 0)),
+        ("3M4", ("gzip", "twolf", "bzip2"), (0, 1, 2)),
+        ("2M4+2M2", ("gzip", "twolf", "bzip2", "mcf"), (0, 1, 2, 3)),
+        ("1M6+2M4+2M2", ("gzip", "gcc", "crafty", "eon", "gap", "bzip2"),
+         (0, 0, 1, 2, 3, 4)),
+    ],
+)
+def test_full_run_bit_identical_to_generic(name, benches, mapping):
+    candidate = _proc(name, benches, mapping)
+    candidate.warm()
+    candidate.run()
+    reference = _proc(name, benches, mapping, options=CODEGEN_OFF)
+    reference.warm()
+    reference.run()
+    assert _final_state(candidate) == _final_state(reference)
+
+
+def test_step_bit_identical_to_generic():
+    candidate = _proc("2M4+2M2", ("gzip", "mcf"), (0, 2), target=10**9)
+    reference = _proc(
+        "2M4+2M2", ("gzip", "mcf"), (0, 2), target=10**9, options=CODEGEN_OFF
+    )
+    candidate.warm()
+    reference.warm()
+    for cycle in range(300):
+        candidate.step()
+        reference.step()
+        assert candidate.cycle == reference.cycle
+        assert candidate.committed == reference.committed
+        assert candidate._rob_state == reference._rob_state
+        assert candidate.events == reference.events, f"cycle {cycle}"
+
+
+def test_entry_guard_deopts_on_wrong_shape():
+    """A compiled loop invoked on a processor of a different shape must
+    revalidate its folded constants, deopt before touching state, and
+    produce the generic result."""
+    four = _proc("2M4+2M2", ("gzip", "twolf", "bzip2", "mcf"), (0, 1, 2, 3))
+    two = _proc("2M4+2M2", ("gzip", "mcf"), (0, 2))
+    assert four._codegen_engine is not two._codegen_engine
+    victim = _proc("2M4+2M2", ("gzip", "mcf"), (0, 2))
+    victim._run_impl = four._codegen_engine.cycle_loop.__get__(victim)
+    victim.warm()
+    victim.run()
+    assert victim.codegen_deopts.get("entry") == 1
+    reference = _proc("2M4+2M2", ("gzip", "mcf"), (0, 2), options=CODEGEN_OFF)
+    reference.warm()
+    reference.run()
+    assert _final_state(victim) == _final_state(reference)
+
+
+def test_dump_sources_writes_generated_files(tmp_path, monkeypatch):
+    codegen.clear_codegen_cache()
+    monkeypatch.setenv("REPRO_CODEGEN_DUMP", str(tmp_path))
+    proc = _proc("2M4+2M2", ("gzip", "mcf"), (0, 2))
+    eng = proc._codegen_engine
+    written = sorted(p.name for p in tmp_path.iterdir())
+    assert written == sorted(
+        f"{eng.token}__{name}.py" for name in eng.sources
+    )
+    for name, src in eng.sources.items():
+        assert (tmp_path / f"{eng.token}__{name}.py").read_text() == src
+    # And each dumped source is syntactically valid Python.
+    for path in tmp_path.iterdir():
+        compile(path.read_text(), str(path), "exec")

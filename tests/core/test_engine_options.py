@@ -1,0 +1,100 @@
+"""EngineOptions: the typed engine-tuning switchboard.
+
+Pins the consolidation contract: env vars remain the fallback spelling,
+``set_engine_options`` is the one switchboard (and syncs the trace
+module's numpy toggle), per-config options override the process
+default, and none of it may leak into config identity (repr/equality/
+hash — and therefore cache keys).
+"""
+
+import pytest
+
+from repro.core.config import MicroarchConfig, get_config
+from repro.core.engine.options import (
+    EngineOptions,
+    default_engine_options,
+    engine_options_for,
+    engine_variant_id,
+    set_engine_options,
+)
+from repro.trace.stream import numpy_decode_active, set_numpy_decode
+
+from dataclasses import replace
+
+
+@pytest.fixture(autouse=True)
+def _restore_process_options():
+    yield
+    set_engine_options(None)
+    set_numpy_decode(False)
+
+
+def test_from_env_reads_both_flags(monkeypatch):
+    monkeypatch.delenv("REPRO_NUMPY_DECODE", raising=False)
+    monkeypatch.delenv("REPRO_CODEGEN", raising=False)
+    assert EngineOptions.from_env() == EngineOptions(False, False)
+    monkeypatch.setenv("REPRO_CODEGEN", "1")
+    assert EngineOptions.from_env() == EngineOptions(numpy_decode=False, codegen=True)
+    monkeypatch.setenv("REPRO_NUMPY_DECODE", "1")
+    monkeypatch.setenv("REPRO_CODEGEN", "0")
+    assert EngineOptions.from_env() == EngineOptions(numpy_decode=True, codegen=False)
+
+
+def test_from_env_accepts_explicit_mapping():
+    opts = EngineOptions.from_env({"REPRO_CODEGEN": "1"})
+    assert opts == EngineOptions(codegen=True)
+
+
+def test_default_options_fall_back_to_env(monkeypatch):
+    monkeypatch.setenv("REPRO_CODEGEN", "1")
+    set_engine_options(None)
+    assert default_engine_options().codegen is True
+    monkeypatch.delenv("REPRO_CODEGEN")
+    assert default_engine_options().codegen is False
+
+
+def test_set_engine_options_overrides_env(monkeypatch):
+    monkeypatch.setenv("REPRO_CODEGEN", "1")
+    active = set_engine_options(EngineOptions(codegen=False))
+    assert active.codegen is False
+    assert default_engine_options().codegen is False
+
+
+def test_set_engine_options_syncs_numpy_decode():
+    baseline = set_numpy_decode(True)  # False when numpy is absent
+    set_engine_options(EngineOptions(numpy_decode=False))
+    assert numpy_decode_active() is False
+    set_engine_options(EngineOptions(numpy_decode=True))
+    assert numpy_decode_active() is baseline
+
+
+def test_engine_options_for_prefers_config_attached(monkeypatch):
+    monkeypatch.delenv("REPRO_CODEGEN", raising=False)
+    set_engine_options(None)
+    cfg = replace(get_config("M8"), engine_options=EngineOptions(codegen=True))
+    assert engine_options_for(cfg).codegen is True
+    assert engine_options_for(get_config("M8")).codegen is False
+    # Non-config values (string config names in job descriptions) fall
+    # back to the process default.
+    assert engine_options_for("M8") == default_engine_options()
+    assert engine_options_for(None) == default_engine_options()
+
+
+def test_engine_variant_id_names_codegen():
+    assert engine_variant_id(EngineOptions(codegen=False)) == "generic"
+    assert engine_variant_id(EngineOptions(codegen=True)) == "codegen-v1"
+    set_engine_options(EngineOptions(codegen=True))
+    assert engine_variant_id() == "codegen-v1"
+    set_engine_options(None)
+
+
+def test_engine_options_do_not_leak_into_config_identity():
+    plain = get_config("M8")
+    tuned = replace(plain, engine_options=EngineOptions(codegen=True))
+    # repr feeds SimJob cache_key_fields: must stay byte-identical.
+    assert repr(tuned) == repr(plain)
+    assert tuned == plain
+    assert hash(tuned) == hash(plain)
+    assert isinstance(tuned, MicroarchConfig)
+    assert tuned.engine_options == EngineOptions(codegen=True)
+    assert plain.engine_options is None

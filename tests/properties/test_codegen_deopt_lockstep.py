@@ -1,0 +1,245 @@
+"""Forced mid-run guard aborts of the specialized cycle loop.
+
+``tests/core/test_codegen.py`` pins the happy path (full specialized
+runs bit-identical to the generic engine) and the entry guard; this
+suite forces each *mid-run* guard — the rare paths the generated loop
+speculates away — and checks the deopt contract: the loop must abort to
+the generic engine **between cycles with state intact**, so the whole
+run (final statistics, complete ROB state and the pending-event
+schedule) still equals a pure generic machine's, and the deopt counter
+names the guard that fired.
+
+* **flush storm** — M8's FLUSH fetch policy raises ``flush_wait`` on
+  long-latency loads; MEM workloads make that a near-certainty. The
+  flush guard has no injection: whenever the generic reference flushes
+  at all, the specialized loop must have deopted on ``"flush"``.
+* **far event** — an event scheduled beyond the timing wheel's horizon
+  lands in ``_far_events``; the generated loop speculates that dict is
+  empty. We inject a *stale-epoch* event (``epoch -99`` never matches
+  ``_rob_epoch``, so writeback drops it — a semantic no-op) into BOTH
+  machines: the reference processes (and discards) it identically while
+  the candidate must deopt on ``"far"``.
+* **warm restore** — restoring a warm snapshot into a live machine
+  rewrites cache/predictor state wholesale and bumps ``_spec_epoch``.
+  We wrap ``_writeback`` on BOTH machines to self-restore the
+  machine's own snapshot mid-run (state-identical, epoch-bumping): the
+  candidate must notice the epoch change and deopt on ``"warm"``.
+
+Test modules cannot import each other (tests are not packages), so the
+state helpers are duplicated from ``test_stage_registry_lockstep``.
+"""
+
+from dataclasses import replace
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import get_config
+from repro.core.engine.options import EngineOptions
+from repro.core.engine.state import EV_COMPLETE
+from repro.core.engine.warm import _dump_warm_state
+from repro.core.processor import Processor
+from repro.trace.benchmarks import MEM_BENCHMARKS
+from repro.trace.stream import trace_for
+
+CODEGEN_ON = EngineOptions(codegen=True)
+CODEGEN_OFF = EngineOptions(codegen=False)
+
+
+def _traces_for(benches, length=1500):
+    seen = {}
+    traces = []
+    for b in benches:
+        inst = seen.get(b, 0)
+        seen[b] = inst + 1
+        traces.append(trace_for(b, length, instance=inst))
+    return traces
+
+
+def _pair(name, benches, mapping, target):
+    """(codegen candidate, generic reference) over identical traces."""
+    traces = _traces_for(benches)
+    candidate = Processor(
+        replace(get_config(name), engine_options=CODEGEN_ON),
+        traces, mapping, target,
+    )
+    reference = Processor(
+        replace(get_config(name), engine_options=CODEGEN_OFF),
+        traces, mapping, target,
+    )
+    candidate.warm()
+    reference.warm()
+    return candidate, reference
+
+
+def _machine_state(proc):
+    """Complete engine-visible state: ROB arrays, rename maps, pipeline
+    queues and the pending-event schedule (content and order)."""
+    return (
+        proc.cycle,
+        proc.seq,
+        proc.phys_free,
+        proc._ready_count,
+        proc._commitable,
+        tuple(proc.committed),
+        tuple(proc.icount),
+        tuple(proc.inflight_loads),
+        tuple(proc.fetch_idx),
+        tuple(proc.junk_idx),
+        tuple(proc.wrong_path),
+        tuple(proc.flush_wait),
+        tuple(proc.fetch_stall_until),
+        tuple(proc.rob_head),
+        tuple(proc.rob_tail),
+        tuple(proc.rob_count),
+        tuple(proc._rob_state),
+        tuple(proc._rob_seq),
+        tuple(proc._rob_epoch),
+        tuple(proc._rob_flags),
+        tuple(tuple(m) for m in proc.reg_map),
+        tuple(pl.issued_total for pl in proc.pipelines),
+        tuple(tuple(pl.iq_used) for pl in proc.pipelines),
+        tuple(len(pl.buffer) for pl in proc.pipelines),
+        tuple(sorted(
+            (when, tuple(evs)) for when, evs in proc.events.items()
+        )),
+    )
+
+
+def _final_state(proc):
+    return (
+        proc.cycle,
+        proc.finished,
+        tuple(proc.committed),
+        tuple(pl.issued_total for pl in proc.pipelines),
+        tuple(proc.stat_mispredicts),
+        tuple(proc.stat_flushes),
+        tuple(proc.stat_squashed),
+        tuple(proc.stat_fetched),
+        tuple(proc.stat_wrongpath_fetched),
+        proc.stat_icache_stalls,
+        proc.stat_btb_bubbles,
+        proc.aggregate_ipc(),
+    )
+
+
+# ------------------------------------------------------------ flush storm
+
+
+@given(
+    benches=st.tuples(
+        st.sampled_from(MEM_BENCHMARKS), st.sampled_from(MEM_BENCHMARKS)
+    ),
+    target=st.integers(min_value=200, max_value=500),
+)
+@settings(max_examples=12, deadline=None)
+def test_flush_storm_deopts_and_matches_generic(benches, target):
+    """M8 (FLUSH policy) on MEM workloads: whenever the run flushes at
+    all, the specialized loop must have aborted on the flush guard —
+    and the completed run must still be bit-identical to generic."""
+    candidate, reference = _pair("M8", benches, (0, 0), target)
+    candidate.run()
+    reference.run()
+    flushed = sum(reference.stat_flushes) > 0
+    if flushed:
+        assert candidate.codegen_deopts.get("flush", 0) >= 1
+    else:
+        assert candidate.codegen_deopts == {}
+    assert _final_state(candidate) == _final_state(reference)
+    assert _machine_state(candidate) == _machine_state(reference)
+
+
+def test_flush_storm_actually_fires():
+    """The canonical MEM pair must actually exercise the flush guard
+    (guards against the property above passing vacuously)."""
+    candidate, reference = _pair("M8", ("mcf", "twolf"), (0, 0), 500)
+    candidate.run()
+    reference.run()
+    assert candidate.codegen_deopts.get("flush", 0) >= 1
+    assert sum(reference.stat_flushes) > 0
+    assert _final_state(candidate) == _final_state(reference)
+
+
+# -------------------------------------------------------------- far event
+
+
+@given(
+    lead=st.integers(min_value=0, max_value=120),
+    delay=st.integers(min_value=1, max_value=5000),
+)
+@settings(max_examples=12, deadline=None)
+def test_far_event_deopts_and_matches_generic(lead, delay):
+    """A pending far event — injected identically into both machines as
+    a stale-epoch no-op after ``lead`` lockstep cycles — must deopt the
+    specialized loop on the far guard without perturbing the run."""
+    candidate, reference = _pair("2M4+2M2", ("gzip", "mcf"), (0, 2), 400)
+    for _ in range(lead):
+        candidate.step()
+        reference.step()
+    when = candidate.cycle + delay
+    for proc in (candidate, reference):
+        # Epoch -99 never matches _rob_epoch: writeback drops the event
+        # on both machines, so the schedules stay identical.
+        proc._far_events.setdefault(when, []).append((EV_COMPLETE, 0, 0, -99))
+    candidate.run()
+    reference.run()
+    assert candidate.codegen_deopts == {"far": 1}
+    assert _final_state(candidate) == _final_state(reference)
+    assert _machine_state(candidate) == _machine_state(reference)
+
+
+# ----------------------------------------------------------- warm restore
+
+
+@given(restore_after=st.integers(min_value=1, max_value=250))
+@settings(max_examples=12, deadline=None)
+def test_warm_restore_deopts_and_matches_generic(restore_after):
+    """A warm-snapshot restore into a live machine mid-run (emulated by
+    a writeback wrapper that self-restores each machine's own snapshot,
+    state-identical but ``_spec_epoch``-bumping) must deopt the
+    specialized loop on the warm guard."""
+    candidate, reference = _pair("2M4+2M2", ("gzip", "mcf"), (0, 2), 400)
+
+    def arm(proc):
+        snap = _dump_warm_state(proc.mem, proc.branch_unit)
+        orig = proc._writeback
+        state = {"fired": False}
+
+        def writeback_and_restore():
+            orig()
+            if not state["fired"] and proc.cycle >= restore_after:
+                state["fired"] = True
+                proc._load_warm_snapshot(snap)
+
+        proc._writeback = writeback_and_restore
+        return state
+
+    # Both machines restore at the same cycle (identical event
+    # schedules drive identical writeback cycles), so they stay
+    # bit-identical; only the candidate has an epoch guard to trip.
+    cand_state = arm(candidate)
+    ref_state = arm(reference)
+    candidate.run()
+    reference.run()
+    assert cand_state["fired"] and ref_state["fired"]
+    assert candidate.codegen_deopts == {"warm": 1}
+    assert _final_state(candidate) == _final_state(reference)
+    assert _machine_state(candidate) == _machine_state(reference)
+
+
+# -------------------------------------------------- specialized-by-default
+
+
+def test_hdsmt_configs_run_fully_specialized():
+    """The hdSMT configurations (L1MCOUNT policy, no flushing) must run
+    start to finish in the generated loop: an unexpected deopt here is a
+    performance regression the counters make visible."""
+    for name, benches, mapping in (
+        ("2M4+2M2", ("gzip", "mcf"), (0, 2)),
+        ("1M6+2M4+2M2", ("gzip", "gcc", "crafty", "eon", "gap", "bzip2"),
+         (0, 0, 1, 2, 3, 4)),
+    ):
+        candidate, reference = _pair(name, benches, mapping, 400)
+        candidate.run()
+        reference.run()
+        assert candidate.codegen_deopts == {}, name
+        assert _final_state(candidate) == _final_state(reference)

@@ -14,17 +14,32 @@ runs (``run()``, idle-skipping included) must agree on every statistic.
 
 Because the test parametrizes over the registry rather than a hardcoded
 variant list, a newly registered stage variant is differentially tested
-against the generic stages automatically.
+against the generic stages automatically — importing
+``repro.core.engine.codegen`` below registers the generated-stage
+variant, so every (codegen, mono, smt) combination is verified here.
+
+Processors are constructed with codegen explicitly *disabled* so the
+constructor always composes the registry variant the config selects
+(mono here) regardless of ``REPRO_CODEGEN`` in the environment: the
+combos themselves splice in the codegen stages, and the reference must
+stay the pure generic machine for the differential to mean anything.
 """
 
 import itertools
+from dataclasses import replace
 
 import pytest
 
+import repro.core.engine.codegen  # noqa: F401  (registers the "codegen" variant)
 from repro.core.config import get_config
+from repro.core.engine.options import EngineOptions, engine_variant_id
 from repro.core.engine.stages import STAGE_REGISTRY, STAGE_SETS, stage_set_for
 from repro.core.processor import Processor
 from repro.trace.stream import trace_for
+
+#: Engine options pinning the constructor to the config-selected
+#: registry variant (codegen off) independent of the environment.
+_GENERIC = EngineOptions(codegen=False)
 
 #: Monolithic scenarios (the mono variants' domain). The 6-thread case
 #: overcommits M8's fetch/rename thread limits so the threads-per-cycle
@@ -130,7 +145,7 @@ def test_registry_combo_lockstep_equals_generic_stages(combo, scenario):
     cycle (the ``test_issue_merged_ready`` harness, extended to the
     fetch and commit registries)."""
     _, benches, mapping, _ = scenario
-    cfg = get_config("M8")
+    cfg = replace(get_config("M8"), engine_options=_GENERIC)
     traces = _traces_for(benches)
 
     candidate = _compose(Processor(cfg, traces, mapping, 10**9), combo)
@@ -156,7 +171,7 @@ def test_registry_combo_full_run_equals_generic_stages(combo, scenario):
     identical cycle counts, commits and statistics for every registered
     combination."""
     _, benches, mapping, target = scenario
-    cfg = get_config("M8")
+    cfg = replace(get_config("M8"), engine_options=_GENERIC)
     traces = _traces_for(benches)
 
     candidate = _compose(Processor(cfg, traces, mapping, target), combo)
@@ -175,8 +190,8 @@ def test_constructor_selects_registry_variants():
     """__init__ must bind exactly the registry's composed stage set —
     mono variants for monolithic configurations, generic SMT stages
     otherwise — with no per-call dispatch left."""
-    mono_cfg = get_config("M8")
-    smt_cfg = get_config("2M4+2M2")
+    mono_cfg = replace(get_config("M8"), engine_options=_GENERIC)
+    smt_cfg = replace(get_config("2M4+2M2"), engine_options=_GENERIC)
     mono = Processor(mono_cfg, _traces_for(("gzip", "twolf")), (0, 0), 100)
     smt = Processor(
         smt_cfg, _traces_for(("gzip", "twolf")), (0, 2), 100
@@ -199,7 +214,22 @@ def test_registry_is_complete_per_stage():
     """Every registered stage offers every variant (a partially
     registered variant would silently fall back at composition time)."""
     variants = {frozenset(v) for v in STAGE_REGISTRY.values()}
-    assert variants == {frozenset({"smt", "mono"})}
+    assert variants == {frozenset({"smt", "mono", "codegen"})}
     for variant, stage_set in STAGE_SETS.items():
         for stage in STAGE_NAMES:
             assert getattr(stage_set, stage) is STAGE_REGISTRY[stage][variant]
+
+
+def test_codegen_optin_selects_codegen_set():
+    """A configuration opted into codegen resolves to the codegen stage
+    set (highest priority), regardless of its shape; opting out resolves
+    to the shape-selected variant."""
+    on = EngineOptions(codegen=True)
+    for name in ("M8", "2M4+2M2"):
+        cfg = replace(get_config(name), engine_options=on)
+        assert stage_set_for(cfg) is STAGE_SETS["codegen"]
+        assert stage_set_for(cfg).name == "codegen"
+        assert engine_variant_id(on) == "codegen-v1"
+    assert stage_set_for(
+        replace(get_config("M8"), engine_options=_GENERIC)
+    ) is STAGE_SETS["mono"]

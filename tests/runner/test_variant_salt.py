@@ -1,0 +1,89 @@
+"""Engine-variant salting of cache and request keys.
+
+The codegen engine is bit-identical to the generic one by contract, but
+identity layers (ResultCache keys, the service's single-flight request
+keys) must still distinguish the two: a specialization bug must never be
+maskable by serving one variant's cached result to the other. The salt
+is added *only* for non-generic variants, so every pre-existing cache
+entry and request key keeps its legacy bytes.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import get_config
+from repro.core.engine.options import EngineOptions, set_engine_options
+from repro.runner import ResultCache, SimJob
+from repro.service.protocol import request_key
+
+
+@pytest.fixture(autouse=True)
+def _restore_process_options(monkeypatch):
+    monkeypatch.delenv("REPRO_CODEGEN", raising=False)
+    set_engine_options(None)
+    yield
+    set_engine_options(None)
+
+
+JOB = SimJob("M8", ("gzip", "twolf"), (0, 0), 500)
+
+
+def test_generic_job_key_ignores_variant_plumbing():
+    """Explicitly-generic options and no options at all must produce the
+    same key: the salt only exists for non-generic variants, keeping
+    legacy cache entries reachable."""
+    default_key = ResultCache.job_key(JOB)
+    set_engine_options(EngineOptions(codegen=False))
+    assert ResultCache.job_key(JOB) == default_key
+
+
+def test_codegen_job_key_differs_from_generic():
+    generic = ResultCache.job_key(JOB)
+    set_engine_options(EngineOptions(codegen=True))
+    assert ResultCache.job_key(JOB) != generic
+    # And flipping back restores the legacy key byte-for-byte.
+    set_engine_options(None)
+    assert ResultCache.job_key(JOB) == generic
+
+
+def test_config_attached_options_salt_the_job_key():
+    """A job carrying a config opted into codegen is salted even when
+    the process default is generic (per-config options win)."""
+    generic = ResultCache.job_key(JOB)
+    cfg = replace(
+        get_config("M8"), engine_options=EngineOptions(codegen=True)
+    )
+    tuned_job = SimJob(cfg, ("gzip", "twolf"), (0, 0), 500)
+    plain_job = SimJob(get_config("M8"), ("gzip", "twolf"), (0, 0), 500)
+    assert ResultCache.job_key(tuned_job) != ResultCache.job_key(plain_job)
+    # engine_options is repr-excluded, so the *unsalted* fields of the
+    # config-object job match the plain config-object job's exactly —
+    # the key difference above is the salt and nothing else. The plain
+    # config-object job in turn hashes the same fields as ever.
+    assert plain_job.cache_key_fields() == tuned_job.cache_key_fields()
+    assert ResultCache.job_key(plain_job) != generic  # repr(config) != "M8"
+
+
+def test_request_key_salts_on_active_variant():
+    generic = request_key("simulate", [JOB])
+    set_engine_options(EngineOptions(codegen=True))
+    salted = request_key("simulate", [JOB])
+    assert salted != generic
+    set_engine_options(EngineOptions(codegen=False))
+    assert request_key("simulate", [JOB]) == generic
+
+
+def test_cache_round_trip_is_variant_scoped(tmp_path):
+    """A result cached under the generic variant is a miss for the
+    codegen variant (and vice versa) — no cross-variant serving."""
+    cache = ResultCache(tmp_path)
+    result = JOB.execute()
+    cache.put(JOB, result)
+    assert cache.get(JOB) == result
+    set_engine_options(EngineOptions(codegen=True))
+    assert cache.get(JOB) is None
+    cache.put(JOB, result)
+    assert cache.get(JOB) == result
+    set_engine_options(None)
+    assert cache.get(JOB) == result  # legacy entry untouched
