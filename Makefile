@@ -17,8 +17,12 @@
 #                 chaos lane)
 #   make chaos-remote  distributed chaos lane: real `repro worker`
 #                 processes under REPRO_FAULT_PLAN (worker death, hangs
-#                 past lease expiry, stale-lease takeover), asserting
+#                 past lease expiry, stale-lease takeover, and a forced
+#                 straggler whose bundle tail must be stolen), asserting
 #                 bit-identical output + an eventful run report
+#   make cache-smoke  multi-tier result-cache lane: memory-tier/backend
+#                 semantics, the rendered-frame tier, the split/steal
+#                 partition properties, and the `repro cache` CLI verbs
 #   make serve-smoke  simulation-service lane: boot a real `repro
 #                 serve` daemon, submit the reference sweep, assert the
 #                 response byte-identical to the local execution path,
@@ -44,7 +48,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 CODEGEN_DUMP_DIR ?= benchmarks/output/codegen-src
 
 .PHONY: test cov bench bench-throughput figures ci lint perf-gate chaos \
-	chaos-remote serve-smoke codegen-lockstep
+	chaos-remote serve-smoke cache-smoke codegen-lockstep
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -61,6 +65,13 @@ chaos-remote:
 
 serve-smoke:
 	$(PYTHON) -m pytest -x -q tests/service/test_serve_smoke.py
+
+cache-smoke:
+	$(PYTHON) -m pytest -x -q \
+		tests/runner/test_cache_tiers.py \
+		tests/runner/test_split_properties.py \
+		tests/service/test_frame_cache.py \
+		tests/integration/test_cli.py::test_cache_stats_and_prune
 
 codegen-lockstep:
 	REPRO_CODEGEN=1 REPRO_CODEGEN_DUMP=$(CODEGEN_DUMP_DIR) \

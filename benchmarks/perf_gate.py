@@ -4,12 +4,13 @@
 Snapshots the committed ``BENCH_000N.json`` baseline *before* the
 benchmarks overwrite it, re-runs the throughput suite
 (``RUN_BENCH=1 pytest benchmarks/test_simulator_throughput.py
-benchmarks/test_service_latency.py benchmarks/test_codegen_speedup.py``),
+benchmarks/test_service_latency.py benchmarks/test_codegen_speedup.py
+benchmarks/test_cache_tiers.py``),
 then compares the fresh ``perf_gate`` reference section of
-``BENCH_0009.json`` (written by ``test_codegen_speedup``, whose gate
-sweep and single-sims run the default — generic — engine, so the gate
-keeps measuring what production runs use; the same snapshot records the
-interleaved generic-vs-codegen A/B) — single-simulation cycles/sec
+``BENCH_0010.json`` (written by ``test_cache_tiers``, whose gate sweep
+and single-sims run the local supervised path with no result cache in
+the loop, so the gate keeps measuring the engine; the same snapshot
+records the warm-tier and work-stealing A/Bs) — single-simulation cycles/sec
 and the fixed-scale reference-sweep wall clock — against the newest
 committed snapshot that records one (baseline discovery walks
 ``BENCH_0*.json`` newest-first, so appending ``BENCH_000N`` snapshots
@@ -40,7 +41,7 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-FRESH_SNAPSHOT = REPO_ROOT / "BENCH_0009.json"
+FRESH_SNAPSHOT = REPO_ROOT / "BENCH_0010.json"
 
 
 def snapshot_number(path: Path) -> int:
@@ -75,7 +76,8 @@ def run_benchmarks() -> int:
     cmd = [sys.executable, "-m", "pytest",
            "benchmarks/test_simulator_throughput.py",
            "benchmarks/test_service_latency.py",
-           "benchmarks/test_codegen_speedup.py", "-q"]
+           "benchmarks/test_codegen_speedup.py",
+           "benchmarks/test_cache_tiers.py", "-q"]
     # e.g. PERF_GATE_PYTEST_ARGS="-k test_continuation_sweep_throughput"
     # narrows the run to just the test that produces the gate reference.
     extra = os.environ.get("PERF_GATE_PYTEST_ARGS")
@@ -91,7 +93,7 @@ def main() -> int:
     baseline, baseline_path = load_gate_baseline()
 
     # The benchmark modules rewrite every BENCH_000N.json they own; only
-    # BENCH_0009 carries the fresh gate reference (and merge-protects its
+    # BENCH_0010 carries the fresh gate reference (and merge-protects its
     # other sections itself). Preserve the other committed snapshots —
     # they are this-machine historical records, not gate outputs — so the
     # gate never leaves the tree dirty with wrong-machine numbers.

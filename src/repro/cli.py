@@ -30,6 +30,10 @@ submit / status
     Thin clients for a running ``repro serve`` daemon: submit one
     request and print the canonical result payload; print the server's
     counters and run report.
+cache
+    Inspect (``stats``) or garbage-collect (``prune --older-than``) the
+    shared result cache on disk
+    (see :class:`~repro.runner.cache.ResultCache`).
 """
 
 from __future__ import annotations
@@ -181,6 +185,40 @@ def _cmd_status(args: argparse.Namespace) -> int:
     from repro.service.daemon import run_status
 
     return run_status(args)
+
+
+def _parse_age(text: str) -> float:
+    """An age in seconds from ``3600`` / ``15m`` / ``12h`` / ``7d``."""
+    units = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+    t = text.strip().lower()
+    mult = units.get(t[-1:])
+    if mult is not None:
+        t = t[:-1]
+    else:
+        mult = 1.0
+    return float(t) * mult
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.runner.cache import ResultCache
+
+    cache_dir = args.cache or os.environ.get("REPRO_RESULT_CACHE")
+    if not cache_dir:
+        print("error: give --cache DIR or set REPRO_RESULT_CACHE",
+              file=sys.stderr)
+        return 2
+    cache = ResultCache(cache_dir)
+    if args.cache_cmd == "stats":
+        print(json.dumps(cache.stats(), indent=2, sort_keys=True))
+        return 0
+    try:
+        age = _parse_age(args.older_than)
+    except ValueError:
+        print(f"error: bad age {args.older_than!r} "
+              "(use e.g. 3600, 15m, 12h, 7d)", file=sys.stderr)
+        return 2
+    print(json.dumps(cache.prune(age), indent=2, sort_keys=True))
+    return 0
 
 
 def _add_endpoint_args(parser: argparse.ArgumentParser) -> None:
@@ -443,6 +481,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="single-line canonical JSON instead of pretty-printed",
     )
     p_st.set_defaults(func=_cmd_status)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect or garbage-collect the shared result cache",
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_cmd", required=True)
+    p_cstats = cache_sub.add_parser(
+        "stats",
+        help="entry count, total bytes, per-tier hit/miss/corrupt counters",
+    )
+    p_cprune = cache_sub.add_parser(
+        "prune",
+        help="delete entries older than an age (GC)",
+    )
+    for p in (p_cstats, p_cprune):
+        p.add_argument(
+            "--cache",
+            default=None,
+            help="cache directory (default: REPRO_RESULT_CACHE)",
+        )
+        p.set_defaults(func=_cmd_cache)
+    p_cprune.add_argument(
+        "--older-than",
+        required=True,
+        dest="older_than",
+        help="age threshold: seconds, or 15m / 12h / 7d",
+    )
 
     return parser
 

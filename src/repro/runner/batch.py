@@ -188,6 +188,11 @@ class BatchRunner:
         :mod:`repro.runner.distributed`), with automatic degradation to
         the local supervised pool when no worker shows up, the fleet
         goes dark, or progress stalls.
+    mem_cache_mb:
+        Budget for the result cache's in-process memory tier; ``None``
+        reads ``REPRO_MEM_CACHE_MB`` (default 0 = disk only).  Long-lived
+        callers (the serve daemon) opt in; one-shot sweeps gain nothing
+        from it.
 
     Results are independent of the worker count — simulations are pure
     functions of their job — so callers may treat ``workers`` purely as a
@@ -203,6 +208,7 @@ class BatchRunner:
         trace_store: Union[None, bool, str, os.PathLike] = None,
         policy: Optional[RetryPolicy] = None,
         queue_dir: Optional[Union[str, os.PathLike]] = None,
+        mem_cache_mb: Optional[float] = None,
     ) -> None:
         self._supervisor: Optional[SupervisedExecutor] = None  # before any raise
         self._own_store_tmp: Optional[tempfile.TemporaryDirectory] = None
@@ -213,7 +219,11 @@ class BatchRunner:
         if cache_dir is None:
             cache_dir = os.environ.get("REPRO_RESULT_CACHE") or None
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
-        self.cache = ResultCache(self.cache_dir) if self.cache_dir else None
+        self.cache = (
+            ResultCache(self.cache_dir, mem_cache_mb=mem_cache_mb)
+            if self.cache_dir
+            else None
+        )
         if trace_store is None:
             trace_store = os.environ.get("REPRO_TRACE_CACHE") or None
         if trace_store is False:
@@ -339,6 +349,9 @@ class BatchRunner:
                     self.queue,
                     policy=self.policy,
                     report=self.report,
+                    # The shared cache powers the straggler work-stealer's
+                    # done-prefix probe (bundles cache per run).
+                    cache=self.cache,
                 )
             return self._distributor.run(jobs, fallback=self._run_local)
         return self._run_local(jobs)

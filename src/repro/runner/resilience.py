@@ -215,6 +215,12 @@ class RunReport:
     #: batches (or batch remainders) degraded from the worker fleet to
     #: the local supervised path (empty fleet, dark fleet, stall)
     local_fallbacks: int = 0
+    #: straggling remote bundles whose un-started tail was stolen into
+    #: fresh sub-tasks (see DistributedExecutor)
+    steals: int = 0
+    #: timed-out local bundles re-split across the pool instead of
+    #: retried whole (see SupervisedExecutor._check_deadlines)
+    split_rescues: int = 0
     wall_seconds: float = 0.0
     job_seconds: List[float] = field(default_factory=list)
 
@@ -232,6 +238,8 @@ class RunReport:
             or self.lease_reclaims
             or self.speculations
             or self.local_fallbacks
+            or self.steals
+            or self.split_rescues
         )
 
     def absorb_worker_stats(self, stats: Optional[Dict[str, int]]) -> None:
@@ -254,6 +262,8 @@ class RunReport:
         self.lease_reclaims += other.lease_reclaims
         self.speculations += other.speculations
         self.local_fallbacks += other.local_fallbacks
+        self.steals += other.steals
+        self.split_rescues += other.split_rescues
         self.wall_seconds += other.wall_seconds
         self.job_seconds.extend(other.job_seconds)
 
@@ -272,6 +282,8 @@ class RunReport:
             "lease_reclaims": self.lease_reclaims,
             "speculations": self.speculations,
             "local_fallbacks": self.local_fallbacks,
+            "steals": self.steals,
+            "split_rescues": self.split_rescues,
             "wall_seconds": round(self.wall_seconds, 3),
             "job_seconds_total": round(sum(self.job_seconds), 3),
             "job_seconds_max": round(max(self.job_seconds, default=0.0), 3),
@@ -288,12 +300,15 @@ class RunReport:
             f"{self.cache_fallbacks} cache fallbacks, "
             f"{self.failures} hard failures"
         )
+        if self.split_rescues:
+            line += f", {self.split_rescues} split rescues"
         if self.enqueued or self.lease_reclaims or self.speculations \
-                or self.local_fallbacks:
+                or self.local_fallbacks or self.steals:
             line += (
                 f"; distributed: {self.enqueued} enqueued, "
                 f"{self.lease_reclaims} lease reclaims, "
                 f"{self.speculations} speculative re-dispatches, "
+                f"{self.steals} steals, "
                 f"{self.local_fallbacks} local fallbacks"
             )
         return line
@@ -301,12 +316,33 @@ class RunReport:
 
 @dataclass
 class _Flight:
-    """One in-flight submission."""
+    """One in-flight submission.
 
-    index: int
+    ``index`` is the job's position in the batch — or, for a sub-bundle
+    of a re-split timed-out bundle, a ``(position, part)`` pair (see
+    :class:`_SplitState`)."""
+
+    index: object
     attempt: int
     started: float
     deadline: Optional[float]
+
+
+@dataclass
+class _SplitState:
+    """A timed-out bundle re-split across the pool.
+
+    ``parts`` are the contiguous sub-bundles of
+    :func:`~repro.runner.continuation.split_bundle`; when every slot of
+    ``results`` has landed, their concatenation (part order) is the
+    bit-identical unsplit result tuple."""
+
+    parts: List
+    results: List
+    remaining: int
+    #: the attempt number the parts inherit — the split *is* the
+    #: bundle's retry, so the total budget stays bounded by max_attempts
+    attempt: int
 
 
 class _BatchState:
@@ -316,11 +352,14 @@ class _BatchState:
         self.results: List = [None] * n
         self.done: List[bool] = [False] * n
         self.remaining = n
-        #: (index, attempt) pairs awaiting submission
+        #: (index, attempt) pairs awaiting submission (``index`` as in
+        #: :class:`_Flight`: batch position, or a (position, part) pair)
         self.queue: deque = deque((i, 1) for i in range(n))
         #: min-heap of (ready_time, seq, index, attempt) backoff timers
-        self.retries: List[Tuple[float, int, int, int]] = []
+        self.retries: List[Tuple[float, int, object, int]] = []
         self.inflight: Dict[object, _Flight] = {}
+        #: batch position -> in-progress re-split of a timed-out bundle
+        self.splits: Dict[int, _SplitState] = {}
         self.pool_breaks = 0
         self.seq = itertools.count()
 
@@ -454,20 +493,53 @@ class SupervisedExecutor:
             if cap is not None and len(st.inflight) >= max(1, cap):
                 return
             i, attempt = st.queue[0]
+            job = self._job_for(jobs, st, i)
+            if job is None:
+                # A part of a split that was since discarded (inline
+                # degradation) or whose bundle already completed.
+                st.queue.popleft()
+                continue
             try:
-                fut = pool.submit(self._worker_fn, jobs[i])
+                fut = pool.submit(self._worker_fn, job)
             except BrokenExecutor:
                 self._recover_pool_break(jobs, st)
                 continue
             st.queue.popleft()
             now = time.monotonic()
-            budget = self.policy.timeout_for(jobs[i])
+            budget = self.policy.timeout_for(job)
             st.inflight[fut] = _Flight(
                 i, attempt, now, None if budget is None else now + budget
             )
             self.report.attempts += 1
             if attempt > 1:
                 self.report.retries += 1
+
+    # -- split-rescue plumbing ---------------------------------------------
+    #
+    # A timed-out continuation bundle can be re-split across the pool
+    # (see _check_deadlines): its sub-bundles travel the normal queue/
+    # retry/inflight machinery under (position, part) refs instead of a
+    # bare batch position.  These helpers resolve either shape.
+
+    @staticmethod
+    def _job_for(jobs: List, st: _BatchState, ref):
+        """The job object behind a queue/flight ref (None when the ref
+        points at a discarded split or an already-done slot)."""
+        if isinstance(ref, int):
+            return None if st.done[ref] else jobs[ref]
+        i, p = ref
+        split = st.splits.get(i)
+        if split is None or st.done[i] or split.results[p] is not None:
+            return None
+        return split.parts[p]
+
+    @staticmethod
+    def _ref_done(st: _BatchState, ref) -> bool:
+        if isinstance(ref, int):
+            return st.done[ref]
+        i, p = ref
+        split = st.splits.get(i)
+        return st.done[i] or split is None or split.results[p] is not None
 
     def _wait_timeout(self, st: _BatchState) -> Optional[float]:
         bounds = [
@@ -492,7 +564,7 @@ class SupervisedExecutor:
         broken = False
         for fut in finished:
             fl = st.inflight.pop(fut, None)
-            if fl is None or st.done[fl.index]:
+            if fl is None or self._ref_done(st, fl.index):
                 continue
             try:
                 value = fut.result()
@@ -512,18 +584,36 @@ class SupervisedExecutor:
 
     def _record_success(self, st: _BatchState, fl: _Flight, value) -> None:
         result, stats = value
-        st.results[fl.index] = result
-        st.done[fl.index] = True
-        st.remaining -= 1
+        if isinstance(fl.index, int):
+            st.results[fl.index] = result
+            st.done[fl.index] = True
+            st.remaining -= 1
+        else:
+            i, p = fl.index
+            split = st.splits.get(i)
+            if split is not None and not st.done[i]:
+                split.results[p] = result
+                split.remaining -= 1
+                if split.remaining == 0:
+                    # Contiguous split: concatenation in part order is
+                    # the bit-identical unsplit bundle result.
+                    joined: List = []
+                    for part_result in split.results:
+                        joined.extend(part_result)
+                    st.results[i] = tuple(joined)
+                    st.done[i] = True
+                    st.remaining -= 1
+                    del st.splits[i]
         self.report.job_seconds.append(time.monotonic() - fl.started)
         self.report.absorb_worker_stats(stats)
 
     def _record_failure(self, jobs, st: _BatchState, fl: _Flight, exc) -> None:
         if fl.attempt >= self.policy.max_attempts:
             self.report.failures += 1
+            failed_job = self._job_for(jobs, st, fl.index)
             raise JobError(
                 f"job {fl.index} failed after {fl.attempt} attempts: {exc!r}",
-                job=jobs[fl.index],
+                job=failed_job,
                 attempts=fl.attempt,
             ) from exc
         delay = self.policy.backoff_for(fl.attempt, rng=self._rng)
@@ -546,7 +636,7 @@ class SupervisedExecutor:
         futures that never finished with no attempt penalty (the
         breakage is the pool's fault, not theirs)."""
         for fut, fl in list(st.inflight.items()):
-            if st.done[fl.index]:
+            if self._ref_done(st, fl.index):
                 continue
             if not fut.done() or fut.cancelled():
                 st.queue.append((fl.index, fl.attempt))
@@ -613,18 +703,34 @@ class SupervisedExecutor:
                 continue
             hung = True
             self.report.timeouts += 1
-            budget = self.policy.timeout_for(jobs[fl.index])
+            timed_out = self._job_for(jobs, st, fl.index)
+            budget = self.policy.timeout_for(timed_out)
             if fl.attempt >= self.policy.max_attempts:
                 self.report.failures += 1
                 raise JobTimeoutError(
                     f"job {fl.index} exceeded its {budget:.1f}s budget on "
                     f"final attempt {fl.attempt}",
-                    job=jobs[fl.index],
+                    job=timed_out,
                     attempts=fl.attempt,
                 )
             delay = self.policy.backoff_for(fl.attempt, rng=self._rng)
+            split = self._try_split(jobs, st, fl)
+            if split:
+                logger.warning(
+                    "bundle %s attempt %d exceeded its %.1fs budget; "
+                    "killing the pool and re-splitting into %d sub-bundles "
+                    "(retrying in %.2fs)",
+                    fl.index, fl.attempt, budget, split, delay,
+                )
+                for p in range(split):
+                    heapq.heappush(
+                        st.retries,
+                        (now + delay, next(st.seq), (fl.index, p),
+                         fl.attempt + 1),
+                    )
+                continue
             logger.warning(
-                "job %d attempt %d exceeded its %.1fs budget; killing the "
+                "job %s attempt %d exceeded its %.1fs budget; killing the "
                 "pool and retrying in %.2fs",
                 fl.index,
                 fl.attempt,
@@ -645,18 +751,64 @@ class SupervisedExecutor:
         # repeatedly.
         self._recover_pool_break(jobs, st)
 
+    def _try_split(self, jobs: List, st: _BatchState, fl: _Flight) -> int:
+        """Re-split a timed-out continuation bundle across the pool.
+
+        Returns the part count (0 = not splittable; the caller falls
+        back to the whole-bundle retry).  The parts inherit the
+        bundle's next attempt number — the split *is* its retry — and a
+        part that times out again retries whole (parts never re-split).
+        ``REPRO_SPLIT_RETRY=0`` disables the rescue."""
+        if not isinstance(fl.index, int):
+            return 0  # never re-split a part
+        if fl.index in st.splits:
+            return 0
+        if _env_int("REPRO_SPLIT_RETRY", 1) <= 0:
+            return 0
+        from repro.runner.continuation import ContinuationJob, split_bundle
+
+        job = jobs[fl.index]
+        if not isinstance(job, ContinuationJob) or len(job.runs) < 2:
+            return 0
+        cap = self._max_inflight if self._max_inflight else 2
+        parts = split_bundle(job, max(2, cap))
+        if len(parts) < 2:
+            return 0
+        st.splits[fl.index] = _SplitState(
+            parts=parts,
+            results=[None] * len(parts),
+            remaining=len(parts),
+            attempt=fl.attempt + 1,
+        )
+        self.report.split_rescues += 1
+        return len(parts)
+
     def _drain_inline(self, jobs: List, st: _BatchState) -> None:
         """Degraded path: run the unfinished jobs in the parent under the
         same retry budget and :class:`JobError` failure contract as the
         supervised pool path (only deadlines are gone — an inline job
-        cannot be reclaimed)."""
+        cannot be reclaimed).  In-progress splits are discarded — their
+        bundles re-run whole (partial part results are only wasted work;
+        bit-identity is untouched) at the attempt number the split
+        inherited."""
         # Carry each job's attempt count over so the total budget stays
-        # bounded by max_attempts across both execution paths.
-        attempts = {i: a for i, a in st.queue}
-        for _, _, i, a in st.retries:
+        # bounded by max_attempts across both execution paths.  Part
+        # refs ((position, part) pairs) fold back into their bundle.
+        attempts: Dict[int, int] = {}
+
+        def note(ref, a: int) -> None:
+            i = ref if isinstance(ref, int) else ref[0]
             attempts[i] = max(attempts.get(i, a), a)
+
+        for ref, a in st.queue:
+            note(ref, a)
+        for _, _, ref, a in st.retries:
+            note(ref, a)
+        for i, split in st.splits.items():
+            note(i, split.attempt)
         st.queue.clear()
         st.retries.clear()
+        st.splits.clear()
         for i, job in enumerate(jobs):
             if st.done[i]:
                 continue

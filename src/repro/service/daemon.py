@@ -98,11 +98,16 @@ def run_serve(args) -> int:
                     "(set --cache/REPRO_RESULT_CACHE to share across "
                     "instances)", cache_dir)
     policy = RetryPolicy.from_env()
+    # Long-lived instance: turn the result cache's memory tier on (same
+    # budget knob as the frame tier) unless REPRO_MEM_CACHE_MB says 0.
+    from repro.service.server import _env_frame_budget_mb
+
     runner = BatchRunner(
         workers=args.jobs,
         cache_dir=cache_dir,
         policy=policy,
         queue_dir=args.queue,
+        mem_cache_mb=_env_frame_budget_mb(),
     )
     service = ReproService(
         runner,

@@ -5,7 +5,7 @@ runs: it accepts :mod:`~repro.service.protocol` requests over any number
 of client connections, executes them on **one** shared
 :class:`~repro.runner.batch.BatchRunner` (the supervised pool — or the
 distributed fleet when the runner has a queue configured), and streams
-progress plus the final canonical payload back.  Three tiers keep repeat
+progress plus the final canonical payload back.  Four tiers keep repeat
 traffic off the simulator:
 
 1. **single-flight coalescing** — requests are keyed by
@@ -13,10 +13,15 @@ traffic off the simulator:
    requests attach to one in-flight :class:`Flight` and every subscriber
    receives the *same encoded bytes* (the response is rendered once per
    flight, not once per client).
-2. **shared result cache** — a new flight first reads every job through
-   the runner's sharded :class:`~repro.runner.cache.ResultCache`; a
+2. **rendered-frame cache** — a bounded LRU of canonical response
+   frames keyed by flight key.  A repeat request whose frame is resident
+   is answered with the exact bytes the first asker received — no job
+   keying, no json/sha256, no disk, no dispatch-thread hop (sized by
+   ``REPRO_MEM_CACHE_MB``; counted as ``cache_served`` + ``frame_served``).
+3. **shared result cache** — a new flight first reads every job through
+   the runner's tiered :class:`~repro.runner.cache.ResultCache`; a
    fully warm request is served without touching the pool at all.
-3. **the pool itself** — cold jobs execute through ``runner.run`` with
+4. **the pool itself** — cold jobs execute through ``runner.run`` with
    all of its supervision (retry, timeout, respawn, distributed
    backend), populating the cache for every later tenant.
 
@@ -39,8 +44,9 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import logging
+import os
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
 from typing import Deque, Dict, List, Optional, Tuple
 
@@ -63,6 +69,21 @@ __all__ = [
 ]
 
 logger = logging.getLogger(__name__)
+
+#: Default rendered-frame budget (MB) when ``REPRO_MEM_CACHE_MB`` is
+#: unset: the daemon is the multi-tenant warm path, so its frame tier is
+#: on unless explicitly zeroed.
+_DEFAULT_FRAME_MB = 64.0
+
+
+def _env_frame_budget_mb() -> float:
+    raw = os.environ.get("REPRO_MEM_CACHE_MB")
+    if raw is None:
+        return _DEFAULT_FRAME_MB
+    try:
+        return max(0.0, float(raw))
+    except ValueError:
+        return _DEFAULT_FRAME_MB
 
 
 class ServiceError(Exception):
@@ -152,6 +173,11 @@ class ReproService:
         beyond it are refused with :class:`ServiceBusy`.
     progress_interval:
         Seconds between progress heartbeats to waiting subscribers.
+    frame_cache_mb:
+        Budget for the rendered-frame LRU (tier 2 of the docstring's
+        ladder).  ``None`` reads ``REPRO_MEM_CACHE_MB`` and falls back
+        to 64 MB; ``0`` disables the tier (every repeat request re-keys
+        through the result cache).
     """
 
     def __init__(
@@ -160,11 +186,17 @@ class ReproService:
         cache=None,
         max_queue: int = 64,
         progress_interval: float = 1.0,
+        frame_cache_mb: Optional[float] = None,
     ) -> None:
         self.runner = runner
         self.cache = cache
         self.max_queue = max(1, int(max_queue))
         self.progress_interval = progress_interval
+        if frame_cache_mb is None:
+            frame_cache_mb = _env_frame_budget_mb()
+        self.frame_budget_bytes = int(max(0.0, float(frame_cache_mb)) * 1024 * 1024)
+        self._frames: "OrderedDict[str, bytes]" = OrderedDict()
+        self._frame_bytes = 0
         self._flights: Dict[str, Flight] = {}
         self._backlog: Deque[Flight] = deque()
         self._wake = asyncio.Event()
@@ -180,6 +212,7 @@ class ReproService:
             "requests": 0,
             "coalesced": 0,
             "cache_served": 0,
+            "frame_served": 0,
             "executed": 0,
             "rejected": 0,
             "bad_requests": 0,
@@ -238,6 +271,20 @@ class ReproService:
             return flight, True
         if self.draining:
             raise ServiceDraining("service is draining")
+        frame = self._frame_get(key)
+        if frame is not None:
+            # Rendered-frame hit: hand back a pre-landed flight carrying
+            # the exact bytes the first asker received — no result-cache
+            # keying, no dispatch-thread hop, never enters the table.
+            flight = Flight(key, kind, jobs)
+            flight.response_bytes = frame
+            flight.source = "frame"
+            flight.state = "done"
+            flight.seconds = 0.0
+            flight.done.set()
+            self.stats["cache_served"] += 1
+            self.stats["frame_served"] += 1
+            return flight, False
         if len(self._backlog) >= self.max_queue:
             self.stats["rejected"] += 1
             raise ServiceBusy(
@@ -248,6 +295,26 @@ class ReproService:
         self._backlog.append(flight)
         self._wake.set()
         return flight, False
+
+    # -- the rendered-frame tier -------------------------------------------
+
+    def _frame_get(self, key: str) -> Optional[bytes]:
+        frame = self._frames.get(key)
+        if frame is not None:
+            self._frames.move_to_end(key)
+        return frame
+
+    def _frame_put(self, key: str, frame: bytes) -> None:
+        if len(frame) > self.frame_budget_bytes:
+            return
+        old = self._frames.pop(key, None)
+        if old is not None:
+            self._frame_bytes -= len(old)
+        self._frames[key] = frame
+        self._frame_bytes += len(frame)
+        while self._frame_bytes > self.frame_budget_bytes and self._frames:
+            _, evicted = self._frames.popitem(last=False)
+            self._frame_bytes -= len(evicted)
 
     # -- execution ---------------------------------------------------------
 
@@ -292,8 +359,10 @@ class ReproService:
                 }
             )
             self.stats["cache_served" if source == "cache" else "executed"] += 1
+            self._frame_put(flight.key, flight.response_bytes)
             # Completed flights leave the table: the next identical
-            # request opens a new flight and is served by the warm tier.
+            # request opens a new flight and is served by the frame or
+            # result-cache warm tier.
             self._flights.pop(flight.key, None)
             flight.state = "done"
             flight.done.set()
@@ -324,6 +393,8 @@ class ReproService:
             "open_flights": len(self._flights),
             **self.stats,
             "runner_jobs": getattr(self.runner, "jobs_run", None),
+            "frame_entries": len(self._frames),
+            "frame_bytes": self._frame_bytes,
             "cache_entries": len(self.cache) if self.cache is not None else None,
             "report": report.as_dict() if report is not None else None,
         }

@@ -110,3 +110,49 @@ def test_worker_cli_serves_queue(tmp_path):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["bogus"])
+
+
+def test_cache_stats_and_prune(tmp_path, capsys, monkeypatch):
+    import json
+    import os
+    import time
+
+    from repro.runner import ResultCache, SimJob
+
+    cache_dir = tmp_path / "cache"
+    cache = ResultCache(cache_dir)
+    jobs = [SimJob("M8", ("gzip", "twolf"), (0, 0), 300, seed=s)
+            for s in range(2)]
+    for job in jobs:
+        cache.put(job, job.execute())
+
+    rc = main(["cache", "stats", "--cache", str(cache_dir)])
+    assert rc == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["entries"] == 2
+    assert stats["total_bytes"] > 0
+    assert {"hits", "mem_hits", "disk_hits", "misses",
+            "corrupt_fallbacks"} <= stats.keys()
+
+    # Age one entry past the threshold, prune via the d-suffix form.
+    key = ResultCache.job_key(jobs[0])
+    old = cache_dir / key[:2] / f"{key}.json"
+    stale = time.time() - 3 * 86400
+    os.utime(old, (stale, stale))
+    rc = main(["cache", "prune", "--cache", str(cache_dir),
+               "--older-than", "1d"])
+    assert rc == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report == {"removed": 1,
+                      "removed_bytes": report["removed_bytes"], "kept": 1}
+    assert report["removed_bytes"] > 0
+    assert not old.exists()
+
+    # REPRO_RESULT_CACHE is the --cache default; no cache at all errors.
+    monkeypatch.setenv("REPRO_RESULT_CACHE", str(cache_dir))
+    assert main(["cache", "stats"]) == 0
+    capsys.readouterr()
+    monkeypatch.delenv("REPRO_RESULT_CACHE")
+    assert main(["cache", "stats"]) == 2
+    assert main(["cache", "prune", "--cache", str(cache_dir),
+                 "--older-than", "nonsense"]) == 2

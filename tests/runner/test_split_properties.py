@@ -1,0 +1,100 @@
+"""Property suite for the work-stealing split: ``split_bundle`` must
+partition a bundle *exactly* (every run in exactly one part, order
+stable, near-even sizes) for arbitrary bundle shapes and part counts,
+``join_split_results`` must invert it, and a split execution must be
+byte-identical to the unsplit bundle — the invariants the distributed
+steal and the local re-split rescue both lean on."""
+
+from hypothesis import given, strategies as st
+
+from repro.runner.continuation import (
+    ContinuationJob,
+    ContinuationRun,
+    join_split_results,
+    plan_bundles,
+    split_bundle,
+    unbundle_results,
+)
+
+
+def _runs(n):
+    """n cheap, pairwise-distinct runs (the seed is the identity)."""
+    return tuple(
+        ContinuationRun(
+            config="M8",
+            benchmarks=("gzip", "twolf"),
+            mapping=(0, 0),
+            commit_target=200,
+            seed=i,
+        )
+        for i in range(n)
+    )
+
+
+@given(n=st.integers(0, 40), parts=st.integers(1, 50))
+def test_split_partitions_exactly(n, parts):
+    job = ContinuationJob(runs=_runs(n))
+    out = split_bundle(job, parts)
+    # Exact partition, order stable: concatenating the parts' runs in
+    # part order reproduces the bundle's run tuple (each run once).
+    joined = tuple(r for part in out for r in part.runs)
+    assert joined == job.runs
+    if n == 0:
+        assert out == []
+        return
+    assert len(out) == min(n, parts)
+    sizes = [len(part.runs) for part in out]
+    assert all(size >= 1 for size in sizes)
+    assert max(sizes) - min(sizes) <= 1  # near-even cut
+
+
+@given(n=st.integers(1, 40))
+def test_single_part_split_is_the_bundle_itself(n):
+    job = ContinuationJob(runs=_runs(n))
+    assert split_bundle(job, 1) == [job]
+
+
+@given(
+    parts=st.lists(
+        st.lists(st.integers(), max_size=5).map(tuple), max_size=8
+    )
+)
+def test_join_concatenates_in_part_order(parts):
+    assert join_split_results(parts) == tuple(
+        x for part in parts for x in part
+    )
+
+
+@given(n=st.integers(1, 30), parts=st.integers(1, 8), data=st.data())
+def test_steal_cut_plus_split_tail_partitions(n, parts, data):
+    """The distributed steal's exact shape: a done-prefix cut at any
+    boundary plus a split of the tail still covers every run exactly
+    once, in order."""
+    runs = _runs(n)
+    cut = data.draw(st.integers(0, n), label="cut")
+    tail = runs[cut:]
+    stolen = (
+        split_bundle(ContinuationJob(runs=tail), parts) if tail else []
+    )
+    covered = runs[:cut] + tuple(
+        r for part in stolen for r in part.runs
+    )
+    assert covered == runs
+
+
+@given(n=st.integers(0, 30), bundles=st.integers(1, 10))
+def test_plan_unbundle_round_trip(n, bundles):
+    runs = _runs(n)
+    jobs = plan_bundles(runs, bundles)
+    fake = [tuple(run.seed for run in job.runs) for job in jobs]
+    assert unbundle_results(fake, n) == [run.seed for run in runs]
+
+
+def test_split_execution_byte_identical():
+    """Real engine check at every interesting part count: executing the
+    parts and joining equals the unsplit bundle's result tuple."""
+    job = ContinuationJob(runs=_runs(3))
+    whole = job.execute()
+    for parts in (1, 2, 3, 7):
+        split = split_bundle(job, parts)
+        assert join_split_results([p.execute() for p in split]) == whole
